@@ -1,0 +1,254 @@
+//! Prediction-enhanced multi-indexing TLBs (paper Sec. 5.1).
+//!
+//! A [`SizePredictor`] guesses the page size before lookup; the predicted
+//! size is probed first, so correct predictions pay a single probe. Wrong
+//! predictions fall back to probing the remaining sizes (and the miss path
+//! pays for everything) — the latency-variability problem the paper points
+//! out. The predictor is trained by hits and by fills after misses.
+
+use mixtlb_types::{AccessKind, PageSize, Translation, Vpn};
+
+use mixtlb_core::{Lookup, MultiProbeConfig, MultiProbeTlb, TlbDevice, TlbStats};
+
+use crate::predictor::SizePredictor;
+use crate::skew::{SkewTlb, SkewTlbConfig};
+
+fn probe_order(predicted: PageSize) -> [PageSize; 3] {
+    let mut order = [predicted; 3];
+    let mut i = 1;
+    for size in PageSize::ALL {
+        if size != predicted {
+            order[i] = size;
+            i += 1;
+        }
+    }
+    order
+}
+
+macro_rules! predictive_tlb {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            inner: $inner,
+            predictor: SizePredictor,
+            /// PC of the most recent missing lookup, to train on fill.
+            pending_pc: Option<u64>,
+            stats_name: String,
+        }
+
+        impl $name {
+            /// Inner TLB access (e.g. for occupancy checks).
+            pub fn inner(&self) -> &$inner {
+                &self.inner
+            }
+
+            /// The predictor's `(reads, updates, mispredicts)`.
+            pub fn predictor_stats(&self) -> (u64, u64, u64) {
+                self.predictor.stats()
+            }
+        }
+
+        impl TlbDevice for $name {
+            fn name(&self) -> &str {
+                &self.stats_name
+            }
+
+            fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup {
+                self.lookup_pc(vpn, kind, 0)
+            }
+
+            fn lookup_pc(&mut self, vpn: Vpn, kind: AccessKind, pc: u64) -> Lookup {
+                let predicted = self.predictor.predict(pc);
+                let result = self.inner_lookup(vpn, kind, predicted);
+                match &result {
+                    Lookup::Hit { translation, .. } => {
+                        self.predictor.update(pc, translation.size);
+                        self.pending_pc = None;
+                    }
+                    Lookup::Miss => {
+                        self.pending_pc = Some(pc);
+                    }
+                }
+                result
+            }
+
+            fn fill(&mut self, vpn: Vpn, requested: &Translation, line: &[Translation]) {
+                if let Some(pc) = self.pending_pc.take() {
+                    self.predictor.update(pc, requested.size);
+                }
+                self.inner.fill(vpn, requested, line);
+            }
+
+            fn invalidate(&mut self, vpn: Vpn, size: PageSize) {
+                self.inner.invalidate(vpn, size);
+            }
+
+            fn flush(&mut self) {
+                self.inner.flush();
+            }
+
+            fn stats(&self) -> TlbStats {
+                let mut stats = self.inner.stats();
+                let (reads, _, miss) = self.predictor.stats();
+                stats.predictor_reads = reads;
+                stats.predictor_misses = miss;
+                stats
+            }
+
+            fn reset_stats(&mut self) {
+                self.inner.reset_stats();
+            }
+        }
+    };
+}
+
+predictive_tlb!(
+    /// Hash-rehash with page-size prediction: the predicted size's index is
+    /// probed first; remaining sizes are rehashed only on a mispredict.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mixtlb_baselines::PredictiveHashRehash;
+    /// use mixtlb_core::TlbDevice;
+    /// use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, Vpn};
+    ///
+    /// let mut tlb = PredictiveHashRehash::new(16, 4, 64);
+    /// let b = Translation::new(Vpn::new(0x400), Pfn::new(0), PageSize::Size2M,
+    ///                          Permissions::rw_user());
+    /// tlb.fill(b.vpn, &b, &[b]);
+    /// assert!(tlb.lookup_pc(Vpn::new(0x433), AccessKind::Load, 0x88).is_hit());
+    /// ```
+    PredictiveHashRehash,
+    MultiProbeTlb,
+    "hr+pred"
+);
+
+impl PredictiveHashRehash {
+    /// Creates a predictive hash-rehash TLB with the given array geometry
+    /// and predictor size.
+    pub fn new(sets: usize, ways: usize, predictor_slots: usize) -> PredictiveHashRehash {
+        let mut config = MultiProbeConfig::all_sizes(sets, ways);
+        config.name = "hr+pred".to_owned();
+        PredictiveHashRehash {
+            inner: MultiProbeTlb::new(config),
+            predictor: SizePredictor::new(predictor_slots),
+            pending_pc: None,
+            stats_name: "hr+pred".to_owned(),
+        }
+    }
+
+    fn inner_lookup(&mut self, vpn: Vpn, kind: AccessKind, predicted: PageSize) -> Lookup {
+        self.inner.lookup_ordered(vpn, kind, &probe_order(predicted))
+    }
+}
+
+predictive_tlb!(
+    /// A skew-associative TLB with page-size prediction: only the predicted
+    /// size's ways are read first, cutting the skew design's parallel-read
+    /// energy when the prediction is right.
+    PredictiveSkew,
+    SkewTlb,
+    "skew+pred"
+);
+
+impl PredictiveSkew {
+    /// Creates a predictive skew TLB.
+    pub fn new(ways_per_size: usize, way_sets: usize, predictor_slots: usize) -> PredictiveSkew {
+        let mut config = SkewTlbConfig::new(ways_per_size, way_sets);
+        config.name = "skew+pred".to_owned();
+        PredictiveSkew {
+            inner: SkewTlb::new(config),
+            predictor: SizePredictor::new(predictor_slots),
+            pending_pc: None,
+            stats_name: "skew+pred".to_owned(),
+        }
+    }
+
+    fn inner_lookup(&mut self, vpn: Vpn, kind: AccessKind, predicted: PageSize) -> Lookup {
+        // Probe the predicted size's ways, then the rest. Hit/miss tallies
+        // are kept on the inner skew TLB's counters via probe_size, so
+        // account the logical lookup here.
+        let mut stats_hack_hit: Option<Lookup> = None;
+        for (i, size) in probe_order(predicted).into_iter().enumerate() {
+            if i > 0 {
+                self.inner.note_serial_probe();
+            }
+            let probe = self.inner.probe_size(vpn, size, kind);
+            if probe.is_hit() {
+                stats_hack_hit = Some(probe);
+                break;
+            }
+        }
+        self.inner.record_external_lookup(stats_hack_hit.as_ref());
+        stats_hack_hit.unwrap_or(Lookup::Miss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_types::{Permissions, Pfn};
+
+    fn trans(vpn: u64, pfn: u64, size: PageSize) -> Translation {
+        Translation::new(Vpn::new(vpn), Pfn::new(pfn), size, Permissions::rw_user())
+    }
+
+    #[test]
+    fn correct_prediction_probes_once() {
+        let mut tlb = PredictiveHashRehash::new(16, 4, 64);
+        let b = trans(0x400, 0x2000, PageSize::Size2M);
+        tlb.fill(b.vpn, &b, &[b]);
+        // Train the predictor: first lookup mispredicts (cold → 4 KB).
+        tlb.lookup_pc(Vpn::new(0x400), AccessKind::Load, 0x80);
+        let probes_before = tlb.stats().sets_probed;
+        // Second lookup from the same PC predicts 2 MB: one probe.
+        assert!(tlb.lookup_pc(Vpn::new(0x401), AccessKind::Load, 0x80).is_hit());
+        assert_eq!(tlb.stats().sets_probed - probes_before, 1);
+    }
+
+    #[test]
+    fn mispredictions_pay_extra_probes() {
+        let mut tlb = PredictiveHashRehash::new(16, 4, 64);
+        let b = trans(0x400, 0x2000, PageSize::Size2M);
+        tlb.fill(b.vpn, &b, &[b]);
+        // Cold predictor says 4 KB: the hit needs 2 probes.
+        assert!(tlb.lookup_pc(Vpn::new(0x400), AccessKind::Load, 0x80).is_hit());
+        assert_eq!(tlb.stats().sets_probed, 2);
+        assert!(tlb.stats().predictor_misses >= 1);
+    }
+
+    #[test]
+    fn fills_train_the_predictor_after_misses() {
+        let mut tlb = PredictiveHashRehash::new(16, 4, 64);
+        // Miss from PC 0x90, then fill a 1 GB translation.
+        assert!(!tlb.lookup_pc(Vpn::new(1 << 18), AccessKind::Load, 0x90).is_hit());
+        let g = trans(1 << 18, 2 << 18, PageSize::Size1G);
+        tlb.fill(g.vpn, &g, &[g]);
+        // Next lookup from that PC predicts 1 GB and hits in one probe.
+        let probes_before = tlb.stats().sets_probed;
+        assert!(tlb.lookup_pc(Vpn::new((1 << 18) + 5), AccessKind::Load, 0x90).is_hit());
+        assert_eq!(tlb.stats().sets_probed - probes_before, 1);
+    }
+
+    #[test]
+    fn predictive_skew_reads_fewer_entries_when_right() {
+        let mut tlb = PredictiveSkew::new(2, 16, 64);
+        let b = trans(0x400, 0x2000, PageSize::Size2M);
+        tlb.fill(b.vpn, &b, &[b]);
+        tlb.lookup_pc(Vpn::new(0x400), AccessKind::Load, 0x80); // trains
+        let before = tlb.stats().entries_read;
+        assert!(tlb.lookup_pc(Vpn::new(0x433), AccessKind::Load, 0x80).is_hit());
+        // Only the 2 MB ways (2 entries) were read, not all 6.
+        assert_eq!(tlb.stats().entries_read - before, 2);
+    }
+
+    #[test]
+    fn plain_lookup_defaults_pc_zero() {
+        let mut tlb = PredictiveHashRehash::new(16, 4, 64);
+        let t = trans(7, 70, PageSize::Size4K);
+        tlb.fill(t.vpn, &t, &[t]);
+        assert!(tlb.lookup(Vpn::new(7), AccessKind::Load).is_hit());
+    }
+}

@@ -1,0 +1,142 @@
+//! A PC-indexed page-size predictor (Papadopoulou et al., HPCA 2014).
+
+use mixtlb_types::PageSize;
+
+/// Predicts the page size of a memory access from the PC of the
+/// instruction making it, with 2-bit-counter-style hysteresis: a stored
+/// prediction must lose confidence twice before being replaced.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_baselines::SizePredictor;
+/// use mixtlb_types::PageSize;
+///
+/// let mut pred = SizePredictor::new(64);
+/// assert_eq!(pred.predict(0x400), PageSize::Size4K); // cold default
+/// pred.update(0x400, PageSize::Size2M);
+/// pred.update(0x400, PageSize::Size2M);
+/// assert_eq!(pred.predict(0x400), PageSize::Size2M);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizePredictor {
+    /// `(predicted size, confidence 0..=3)` per slot.
+    table: Vec<(PageSize, u8)>,
+    reads: u64,
+    updates: u64,
+    mispredicts: u64,
+}
+
+impl SizePredictor {
+    /// Creates a predictor with `slots` entries (a power of two). Cold
+    /// entries predict 4 KB — the architectural base size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two.
+    pub fn new(slots: usize) -> SizePredictor {
+        assert!(slots.is_power_of_two(), "predictor slots must be a power of two");
+        SizePredictor {
+            table: vec![(PageSize::Size4K, 0); slots],
+            reads: 0,
+            updates: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn slot(&self, pc: u64) -> usize {
+        // Drop the low bits (instruction alignment) before indexing.
+        ((pc >> 2) as usize) & (self.table.len() - 1)
+    }
+
+    /// Predicts the page size for an access made by `pc`.
+    pub fn predict(&mut self, pc: u64) -> PageSize {
+        self.reads += 1;
+        self.table[self.slot(pc)].0
+    }
+
+    /// Trains the predictor with the actual size observed for `pc`.
+    /// Counts a misprediction if the stored prediction disagreed.
+    pub fn update(&mut self, pc: u64, actual: PageSize) {
+        self.updates += 1;
+        let slot = self.slot(pc);
+        let (predicted, confidence) = &mut self.table[slot];
+        if *predicted == actual {
+            *confidence = (*confidence + 1).min(3);
+        } else {
+            self.mispredicts += 1;
+            if *confidence == 0 {
+                *predicted = actual;
+                *confidence = 1;
+            } else {
+                *confidence -= 1;
+            }
+        }
+    }
+
+    /// `(reads, updates, mispredicts)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.reads, self.updates, self.mispredicts)
+    }
+
+    /// Misprediction rate over all updates; 0 with no updates.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.updates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_predictions_default_to_4k() {
+        let mut p = SizePredictor::new(16);
+        assert_eq!(p.predict(0), PageSize::Size4K);
+        assert_eq!(p.predict(0xFFFF_FFFF), PageSize::Size4K);
+    }
+
+    #[test]
+    fn learns_stable_sizes() {
+        let mut p = SizePredictor::new(16);
+        p.update(0x100, PageSize::Size1G);
+        assert_eq!(p.predict(0x100), PageSize::Size1G);
+    }
+
+    #[test]
+    fn hysteresis_resists_single_flips() {
+        let mut p = SizePredictor::new(16);
+        p.update(0x100, PageSize::Size2M);
+        p.update(0x100, PageSize::Size2M);
+        // One disagreement lowers confidence but keeps the prediction.
+        p.update(0x100, PageSize::Size4K);
+        assert_eq!(p.predict(0x100), PageSize::Size2M);
+        // Sustained disagreement eventually flips it.
+        p.update(0x100, PageSize::Size4K);
+        p.update(0x100, PageSize::Size4K);
+        assert_eq!(p.predict(0x100), PageSize::Size4K);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_slots() {
+        let mut p = SizePredictor::new(16);
+        p.update(0x100, PageSize::Size2M);
+        assert_eq!(p.predict(0x104), PageSize::Size4K);
+        assert_eq!(p.predict(0x100), PageSize::Size2M);
+    }
+
+    #[test]
+    fn mispredict_accounting() {
+        let mut p = SizePredictor::new(16);
+        p.update(0, PageSize::Size4K); // agrees with cold default
+        p.update(0, PageSize::Size2M); // mispredict
+        let (_, updates, miss) = p.stats();
+        assert_eq!(updates, 2);
+        assert_eq!(miss, 1);
+        assert!((p.mispredict_rate() - 0.5).abs() < 1e-12);
+    }
+}

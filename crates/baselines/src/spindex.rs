@@ -1,0 +1,89 @@
+//! The rejected superpage-index-bits alternative (paper Sec. 3).
+
+use mixtlb_core::{MixTlb, MixTlbConfig};
+
+/// Builds a MIX-style TLB that indexes every translation with the **2 MB
+/// superpage's** index bits instead of the small page's.
+///
+/// The upside: a 2 MB superpage maps to exactly one set, eliminating
+/// mirroring. The downside (which the paper measures as a 4-8× miss
+/// increase): groups of 512 spatially-adjacent 4 KB pages now collide in
+/// one set, and real programs have spatial locality. The `index_bits`
+/// benchmark regenerates that in-text experiment.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_baselines::superpage_indexed_mix;
+/// use mixtlb_core::TlbDevice;
+/// use mixtlb_types::{AccessKind, Permissions, PageSize, Pfn, Translation, Vpn};
+///
+/// let mut tlb = superpage_indexed_mix(16, 4);
+/// let b = Translation::new(Vpn::new(0x400), Pfn::new(0), PageSize::Size2M,
+///                          Permissions::rw_user());
+/// tlb.fill(b.vpn, &b, &[b]);
+/// assert!(tlb.lookup(Vpn::new(0x5FF), AccessKind::Load).is_hit());
+/// ```
+pub fn superpage_indexed_mix(sets: usize, ways: usize) -> MixTlb {
+    let config = MixTlbConfig {
+        extra_index_shift: 9, // index with bits 21+ (2 MB granularity)
+        ..MixTlbConfig::l1(sets, ways)
+    }
+    .named("superpage-indexed");
+    MixTlb::new(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_core::TlbDevice;
+    use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, Vpn};
+
+    fn t4k(vpn: u64, pfn: u64) -> Translation {
+        Translation::new(
+            Vpn::new(vpn),
+            Pfn::new(pfn),
+            PageSize::Size4K,
+            Permissions::rw_user(),
+        )
+    }
+
+    #[test]
+    fn superpages_map_to_one_set_without_mirrors() {
+        let mut tlb = superpage_indexed_mix(16, 4);
+        let b = Translation::new(
+            Vpn::new(0x400),
+            Pfn::new(0x2000),
+            PageSize::Size2M,
+            Permissions::rw_user(),
+        );
+        tlb.fill(b.vpn, &b, &[b]);
+        assert_eq!(tlb.occupancy(), 1, "no mirrors with superpage indexing");
+        assert!(tlb.lookup(Vpn::new(0x433), AccessKind::Load).is_hit());
+    }
+
+    #[test]
+    fn adjacent_small_pages_conflict_in_one_set() {
+        // 16 sets, 1 way: 5 spatially-adjacent small pages all collide in
+        // one set; only the last survives.
+        let mut tlb = superpage_indexed_mix(16, 1);
+        for i in 0..5u64 {
+            let t = t4k(0x400 + i, 0x900 + i);
+            tlb.fill(t.vpn, &t, &[t]);
+        }
+        let hits = (0..5u64)
+            .filter(|&i| tlb.lookup(Vpn::new(0x400 + i), AccessKind::Load).is_hit())
+            .count();
+        assert_eq!(hits, 1);
+        // The same workload on a small-page-indexed MIX TLB keeps all 5.
+        let mut mix = MixTlb::new(MixTlbConfig::l1(16, 1));
+        for i in 0..5u64 {
+            let t = t4k(0x400 + i, 0x900 + i);
+            mix.fill(t.vpn, &t, &[t]);
+        }
+        let mix_hits = (0..5u64)
+            .filter(|&i| mix.lookup(Vpn::new(0x400 + i), AccessKind::Load).is_hit())
+            .count();
+        assert_eq!(mix_hits, 5);
+    }
+}

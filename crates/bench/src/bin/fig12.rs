@@ -1,0 +1,59 @@
+//! Figure 12: CDF of 2 MB superpage contiguity for native CPU workloads as
+//! memhog varies. Each point `(run length, fraction)` gives the share of
+//! superpage translations living in runs of at most that length.
+
+use mixtlb_bench::{banner, Scale, Table};
+use mixtlb_sim::{NativeScenario, PolicyChoice};
+use mixtlb_types::PageSize;
+
+/// Aggregates run-length samples from every workload into one CDF,
+/// evaluated at fixed run-length breakpoints.
+fn aggregate_cdf(runs: &[u64], points: &[u64]) -> Vec<f64> {
+    let total: u64 = runs.iter().sum();
+    points
+        .iter()
+        .map(|&p| {
+            let within: u64 = runs.iter().filter(|&&r| r <= p).sum();
+            if total == 0 {
+                0.0
+            } else {
+                within as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 12",
+        "2 MB superpage contiguity CDF, native CPU, memhog sweep",
+        scale,
+    );
+    let points = [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let mut table = Table::new(&["memhog", "run<=1", "<=4", "<=16", "<=64", "<=256", "<=1024"]);
+    for hog in [0.2, 0.4, 0.6] {
+        let mut runs: Vec<u64> = Vec::new();
+        for (w, spec) in scale.cpu_workloads().into_iter().enumerate() {
+            let cfg = scale.alloc_cfg(PolicyChoice::Ths, hog).with_seed(42 + w as u64);
+            let scenario = NativeScenario::prepare(&spec, &cfg);
+            runs.extend(scenario.contiguity(PageSize::Size2M).runs.iter().copied());
+        }
+        let cdf = aggregate_cdf(&runs, &points);
+        table.row(vec![
+            format!("{:.0}%", hog * 100.0),
+            format!("{:.2}", cdf[0]),
+            format!("{:.2}", cdf[2]),
+            format!("{:.2}", cdf[4]),
+            format!("{:.2}", cdf[6]),
+            format!("{:.2}", cdf[8]),
+            format!("{:.2}", cdf[10]),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nPaper shape: considerable contiguity even under fragmentation — the CDF \
+         stays low at small run lengths (most translations live in long runs) and \
+         shifts left as memhog grows."
+    );
+}

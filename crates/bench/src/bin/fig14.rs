@@ -1,0 +1,112 @@
+//! Figure 14: percent performance improvement of area-equivalent MIX TLBs
+//! over the commercial split hierarchy, for libhugetlbfs 4 KB / 2 MB /
+//! 1 GB setups, THS, virtualized (1 and 4 VMs), and GPUs.
+
+use mixtlb_bench::{banner, signed_pct, Scale, Table};
+
+use mixtlb_gpu::GpuScenario;
+use mixtlb_sim::{
+    designs, improvement_percent, NativeScenario, PolicyChoice, VirtScenario,
+};
+use mixtlb_trace::WorkloadClass;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 14",
+        "% performance improvement of MIX over split TLBs",
+        scale,
+    );
+    let refs = scale.refs();
+
+    println!("\n--- native CPU ---");
+    let native_cases = [
+        ("4KB", PolicyChoice::SmallOnly),
+        ("2MB", PolicyChoice::Huge2M),
+        ("1GB", PolicyChoice::Huge1G),
+        ("THS", PolicyChoice::Ths),
+    ];
+    let mut table = Table::new(&["workload", "4KB", "2MB", "1GB", "THS"]);
+    let mut class_sums: std::collections::HashMap<&str, [f64; 4]> = Default::default();
+    let mut class_counts: std::collections::HashMap<&str, f64> = Default::default();
+    for spec in scale.cpu_workloads() {
+        let mut cells = vec![spec.name.to_owned()];
+        let mut vals = [0.0f64; 4];
+        for (i, (_, policy)) in native_cases.iter().enumerate() {
+            let mut cfg = scale.native_cfg(*policy, 0.0);
+            // The 1 GB column needs tens of 1 GB pages to exceed the split
+            // design's dedicated 1 GB TLBs (4 L1 + 32 L2 entries) — a
+            // machine-scale effect, so give it the paper's 80 GB. The page
+            // count stays tiny (~70 mappings), so this is cheap.
+            if matches!(policy, PolicyChoice::Huge1G) && scale != Scale::Quick {
+                cfg.mem_bytes = 80 << 30;
+            }
+            let mut scenario = NativeScenario::prepare(&spec, &cfg);
+            let split = scenario.run(designs::haswell_split(), refs);
+            let mix = scenario.run(designs::mix(), refs);
+            vals[i] = improvement_percent(&split, &mix);
+            cells.push(signed_pct(vals[i]));
+        }
+        let class = match spec.class {
+            WorkloadClass::SpecParsec => "Spec+Parsec avg",
+            WorkloadClass::BigMemory => "big-memory avg",
+            WorkloadClass::Gpu => unreachable!("cpu list"),
+        };
+        let sums = class_sums.entry(class).or_default();
+        for i in 0..4 {
+            sums[i] += vals[i];
+        }
+        *class_counts.entry(class).or_default() += 1.0;
+        table.row(cells);
+    }
+    for (class, sums) in &class_sums {
+        let n = class_counts[class];
+        table.row(vec![
+            format!("[{class}]"),
+            signed_pct(sums[0] / n),
+            signed_pct(sums[1] / n),
+            signed_pct(sums[2] / n),
+            signed_pct(sums[3] / n),
+        ]);
+    }
+    table.print();
+
+    println!("\n--- virtualized CPU (THS guests) ---");
+    let mut table = Table::new(&["workload", "1 VM", "4 VM"]);
+    for spec in scale
+        .cpu_workloads()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::BigMemory)
+    {
+        let mut cells = vec![spec.name.to_owned()];
+        for vms in [1u32, 4] {
+            let cfg = scale.virt_cfg(vms, 0.0);
+            let mut scenario = VirtScenario::prepare(&spec, &cfg);
+            let split = scenario.run(0, designs::haswell_split(), refs);
+            let mix = scenario.run(0, designs::mix(), refs);
+            cells.push(signed_pct(improvement_percent(&split, &mix)));
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    println!("\n--- GPU (THS) ---");
+    let mut table = Table::new(&["workload", "MIX vs split"]);
+    for spec in scale.gpu_workloads() {
+        let cfg = scale.gpu_cfg(PolicyChoice::Ths, 0.0);
+        let mut scenario = GpuScenario::prepare(&spec, &cfg);
+        let split = scenario.run(designs::gpu_split_l1, refs);
+        let mix = scenario.run(designs::gpu_mix_l1, refs);
+        table.row(vec![
+            spec.name.to_owned(),
+            signed_pct(improvement_percent(&split, &mix)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nPaper shape: MIX outperforms split comprehensively, frequently >10%; \
+         gains grow when misses are expensive — virtualized (40%+ for some) and \
+         GPU workloads benefit most; 1 GB setups gain >12% (split confines 1 GB \
+         pages to a tiny TLB)."
+    );
+}

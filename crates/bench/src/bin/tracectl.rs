@@ -1,0 +1,123 @@
+//! Trace tooling CLI: record synthetic workload traces to the binary
+//! on-disk format, inspect them, and verify replay determinism.
+//!
+//! ```text
+//! tracectl record <workload> <events> <path> [footprint_mb] [seed]
+//! tracectl info <path>
+//! tracectl verify <workload> <events> <path> [footprint_mb] [seed]
+//! ```
+
+use std::collections::HashSet;
+use std::process::exit;
+
+use mixtlb_trace::{TraceFile, TraceGenerator, WorkloadSpec};
+use mixtlb_types::Vpn;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  tracectl record <workload> <events> <path> [footprint_mb] [seed]\n  \
+         tracectl info <path>\n  \
+         tracectl verify <workload> <events> <path> [footprint_mb] [seed]\n\n\
+         workloads: {}",
+        WorkloadSpec::catalog()
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2);
+}
+
+fn generator(args: &[String]) -> (TraceGenerator, u64) {
+    let spec = WorkloadSpec::by_name(&args[0]).unwrap_or_else(|| {
+        eprintln!("unknown workload '{}'", args[0]);
+        usage();
+    });
+    let events: u64 = args[1].parse().unwrap_or_else(|_| usage());
+    let footprint_mb: u64 = args
+        .get(3)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(256);
+    let seed: u64 = args
+        .get(4)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42);
+    let spec = spec.with_footprint(footprint_mb << 20);
+    (TraceGenerator::new(&spec, seed, Vpn::new(1 << 18)), events)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() >= 4 => {
+            let (generator, events) = generator(&args[1..]);
+            let path = &args[3];
+            let written = TraceFile::record(path, generator.take(events as usize))
+                .unwrap_or_else(|e| {
+                    eprintln!("record failed: {e}");
+                    exit(1);
+                });
+            println!("wrote {written} events to {path}");
+        }
+        Some("info") if args.len() == 2 => {
+            let file = TraceFile::open(&args[1]).unwrap_or_else(|e| {
+                eprintln!("open failed: {e}");
+                exit(1);
+            });
+            let hint = file.len_hint();
+            let mut events = 0u64;
+            let mut stores = 0u64;
+            let mut pages: HashSet<u64> = HashSet::new();
+            let mut pcs: HashSet<u64> = HashSet::new();
+            let (mut min_va, mut max_va) = (u64::MAX, 0u64);
+            for ev in file {
+                let ev = ev.unwrap_or_else(|e| {
+                    eprintln!("corrupt record: {e}");
+                    exit(1);
+                });
+                events += 1;
+                if ev.kind.is_store() {
+                    stores += 1;
+                }
+                pages.insert(ev.va.vpn().raw());
+                pcs.insert(ev.pc);
+                min_va = min_va.min(ev.va.raw());
+                max_va = max_va.max(ev.va.raw());
+            }
+            println!("events:         {events} (header hint {hint:?})");
+            if events > 0 {
+                println!("stores:         {stores} ({:.1}%)", stores as f64 / events as f64 * 100.0);
+                println!("distinct pages: {}", pages.len());
+                println!("distinct PCs:   {}", pcs.len());
+                println!("va range:       {min_va:#x}..{max_va:#x}");
+            }
+        }
+        Some("verify") if args.len() >= 4 => {
+            let (generator, events) = generator(&args[1..]);
+            let path = &args[3];
+            let file = TraceFile::open(path).unwrap_or_else(|e| {
+                eprintln!("open failed: {e}");
+                exit(1);
+            });
+            let mut mismatches = 0u64;
+            let mut compared = 0u64;
+            for (expected, got) in generator.take(events as usize).zip(file) {
+                let got = got.unwrap_or_else(|e| {
+                    eprintln!("corrupt record: {e}");
+                    exit(1);
+                });
+                compared += 1;
+                if expected != got {
+                    mismatches += 1;
+                }
+            }
+            if mismatches == 0 && compared == events {
+                println!("OK: {compared} events match the regenerated stream");
+            } else {
+                eprintln!("MISMATCH: {mismatches} of {compared} differ (wanted {events})");
+                exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

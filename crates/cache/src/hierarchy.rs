@@ -1,0 +1,232 @@
+//! The multi-level cache hierarchy.
+
+use mixtlb_types::PhysAddr;
+
+use crate::level::{CacheConfig, CacheLevel};
+
+/// Configuration of a whole hierarchy plus the DRAM latency behind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Cache levels, innermost (L1D) first.
+    pub levels: Vec<CacheConfig>,
+    /// Latency of a DRAM access when every level misses.
+    pub dram_cycles: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's Haswell evaluation machine: 32 KB 8-way L1D (4 cycles),
+    /// 256 KB 8-way L2 (12 cycles), 24 MB 16-way LLC (42 cycles), and
+    /// ~200-cycle DRAM.
+    pub fn haswell() -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![
+                CacheConfig {
+                    capacity_bytes: 32 << 10,
+                    ways: 8,
+                    line_bytes: 64,
+                    hit_cycles: 4,
+                },
+                CacheConfig {
+                    capacity_bytes: 256 << 10,
+                    ways: 8,
+                    line_bytes: 64,
+                    hit_cycles: 12,
+                },
+                CacheConfig {
+                    capacity_bytes: 24 << 20,
+                    ways: 16,
+                    line_bytes: 64,
+                    hit_cycles: 42,
+                },
+            ],
+            dram_cycles: 200,
+        }
+    }
+
+    /// A small hierarchy for unit tests and quick examples.
+    pub fn tiny() -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![
+                CacheConfig {
+                    capacity_bytes: 1 << 10,
+                    ways: 2,
+                    line_bytes: 64,
+                    hit_cycles: 2,
+                },
+                CacheConfig {
+                    capacity_bytes: 8 << 10,
+                    ways: 4,
+                    line_bytes: 64,
+                    hit_cycles: 10,
+                },
+            ],
+            dram_cycles: 100,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig::haswell()
+    }
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Index of the level that hit (0 = L1D), or `None` on a DRAM access.
+    pub level_hit: Option<usize>,
+    /// `true` when the access went all the way to DRAM.
+    pub dram: bool,
+    /// Total latency in cycles (sum of the miss path).
+    pub cycles: u64,
+}
+
+/// Per-level and DRAM access statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// `(hits, misses)` per level, innermost first.
+    pub levels: Vec<(u64, u64)>,
+    /// Number of DRAM accesses.
+    pub dram_accesses: u64,
+    /// Total cycles spent across all accesses.
+    pub total_cycles: u64,
+}
+
+/// A functional cache hierarchy: accesses walk outward level by level,
+/// filling every missed level on the way back (inclusive behaviour).
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+    dram_cycles: u64,
+    dram_accesses: u64,
+    total_cycles: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds an empty hierarchy from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.levels` is empty.
+    pub fn new(config: HierarchyConfig) -> CacheHierarchy {
+        assert!(!config.levels.is_empty(), "hierarchy needs at least one level");
+        CacheHierarchy {
+            levels: config.levels.into_iter().map(CacheLevel::new).collect(),
+            dram_cycles: config.dram_cycles,
+            dram_accesses: 0,
+            total_cycles: 0,
+        }
+    }
+
+    /// Accesses a physical address, returning where it hit and the latency.
+    pub fn access(&mut self, pa: PhysAddr) -> AccessResult {
+        let mut cycles = 0;
+        let mut level_hit = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            cycles += level.config().hit_cycles;
+            if level.access(pa) {
+                level_hit = Some(i);
+                break;
+            }
+        }
+        let dram = level_hit.is_none();
+        if dram {
+            cycles += self.dram_cycles;
+            self.dram_accesses += 1;
+        }
+        self.total_cycles += cycles;
+        AccessResult {
+            level_hit,
+            dram,
+            cycles,
+        }
+    }
+
+    /// Latency an access to this address *would* incur, without touching
+    /// cache state. Useful for cost estimation.
+    pub fn peek_latency(&self, pa: PhysAddr) -> u64 {
+        let mut cycles = 0;
+        for level in &self.levels {
+            cycles += level.config().hit_cycles;
+            if level.probe(pa) {
+                return cycles;
+            }
+        }
+        cycles + self.dram_cycles
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            levels: self.levels.iter().map(|l| l.stats()).collect(),
+            dram_accesses: self.dram_accesses,
+            total_cycles: self.total_cycles,
+        }
+    }
+
+    /// Flushes every level (statistics are preserved).
+    pub fn flush(&mut self) {
+        for level in &mut self.levels {
+            level.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_access_reaches_dram_and_fills_all_levels() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        let r = h.access(PhysAddr::new(0x4000));
+        assert!(r.dram);
+        assert_eq!(r.cycles, 2 + 10 + 100);
+        let r = h.access(PhysAddr::new(0x4000));
+        assert_eq!(r.level_hit, Some(0));
+        assert_eq!(r.cycles, 2);
+    }
+
+    #[test]
+    fn l2_backs_up_l1_evictions() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        h.access(PhysAddr::new(0));
+        // Evict line 0 from the tiny L1 (8 sets x 2 ways): lines 8 and 16
+        // share set 0 with line 0.
+        h.access(PhysAddr::new(8 * 64));
+        h.access(PhysAddr::new(16 * 64));
+        let r = h.access(PhysAddr::new(0));
+        assert_eq!(r.level_hit, Some(1));
+        assert_eq!(r.cycles, 2 + 10);
+    }
+
+    #[test]
+    fn peek_latency_matches_access_without_mutation() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        assert_eq!(h.peek_latency(PhysAddr::new(0)), 112);
+        h.access(PhysAddr::new(0));
+        assert_eq!(h.peek_latency(PhysAddr::new(0)), 2);
+        // peek must not have filled anything new.
+        assert_eq!(h.peek_latency(PhysAddr::new(0x9000)), 112);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        h.access(PhysAddr::new(0));
+        h.access(PhysAddr::new(0));
+        let s = h.stats();
+        assert_eq!(s.dram_accesses, 1);
+        assert_eq!(s.levels[0], (1, 1));
+        assert_eq!(s.total_cycles, 112 + 2);
+    }
+
+    #[test]
+    fn haswell_config_is_sane() {
+        let cfg = HierarchyConfig::haswell();
+        assert_eq!(cfg.levels[0].sets(), 64);
+        assert_eq!(cfg.levels[2].capacity_bytes, 24 << 20);
+        let _ = CacheHierarchy::new(cfg);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the cache hierarchy: LRU behaviour matches a model,
+//! inclusion-by-fill holds, and latency accounting is consistent.
+
+use mixtlb_cache::{CacheConfig, CacheHierarchy, CacheLevel, HierarchyConfig, PageWalkCache};
+use mixtlb_types::PhysAddr;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A reference fully-associative LRU of `capacity` lines.
+struct ModelLru {
+    lines: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn access(&mut self, line: u64) -> bool {
+        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(pos);
+            self.lines.push_back(line);
+            true
+        } else {
+            if self.lines.len() == self.capacity {
+                self.lines.pop_front();
+            }
+            self.lines.push_back(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A single-set cache is exactly a fully-associative LRU.
+    #[test]
+    fn single_set_cache_is_lru(
+        ways in 1u32..8,
+        accesses in proptest::collection::vec(0u64..32, 1..200),
+    ) {
+        let mut cache = CacheLevel::new(CacheConfig {
+            capacity_bytes: u64::from(ways) * 64,
+            ways,
+            line_bytes: 64,
+            hit_cycles: 1,
+        });
+        let mut model = ModelLru { lines: VecDeque::new(), capacity: ways as usize };
+        for &line in &accesses {
+            let hit = cache.access(PhysAddr::new(line * 64));
+            prop_assert_eq!(hit, model.access(line), "line {}", line);
+        }
+    }
+
+    /// The PWC is exactly a fully-associative LRU too.
+    #[test]
+    fn pwc_is_lru(
+        capacity in 1usize..8,
+        accesses in proptest::collection::vec(0u64..24, 1..200),
+    ) {
+        let mut pwc = PageWalkCache::new(capacity);
+        let mut model = ModelLru { lines: VecDeque::new(), capacity };
+        for &key in &accesses {
+            prop_assert_eq!(pwc.access(PhysAddr::new(key * 8)), model.access(key));
+        }
+        let (hits, misses) = pwc.stats();
+        prop_assert_eq!(hits + misses, accesses.len() as u64);
+    }
+
+    /// Hierarchy latency equals the sum of traversed levels (+ DRAM), and
+    /// an immediate re-access always hits L1.
+    #[test]
+    fn hierarchy_latency_accounting(
+        accesses in proptest::collection::vec(0u64..4096, 1..100),
+    ) {
+        let cfg = HierarchyConfig::tiny();
+        let l1 = cfg.levels[0].hit_cycles;
+        let l2 = cfg.levels[1].hit_cycles;
+        let dram = cfg.dram_cycles;
+        let mut h = CacheHierarchy::new(cfg);
+        let mut total = 0;
+        for &line in &accesses {
+            let pa = PhysAddr::new(line * 64);
+            let r = h.access(pa);
+            let expected = match (r.level_hit, r.dram) {
+                (Some(0), false) => l1,
+                (Some(1), false) => l1 + l2,
+                (None, true) => l1 + l2 + dram,
+                other => {
+                    prop_assert!(false, "impossible outcome {other:?}");
+                    unreachable!()
+                }
+            };
+            prop_assert_eq!(r.cycles, expected);
+            total += expected;
+            // The line is now resident in L1.
+            let again = h.access(pa);
+            prop_assert_eq!(again.level_hit, Some(0));
+            total += l1;
+        }
+        prop_assert_eq!(h.stats().total_cycles, total);
+    }
+}

@@ -1,0 +1,225 @@
+//! The interface every TLB design implements.
+
+use mixtlb_types::{AccessKind, PageSize, Translation, Vpn};
+
+/// A maximal run of contiguous same-size translations that a coalescing
+/// TLB entry knows about around a hit. When an outer (L2) MIX TLB hits,
+/// this is the information an inner (L1) MIX TLB can absorb wholesale on
+/// refill — both entries store the same anchor + extent representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescedRun {
+    /// The first translation of the run.
+    pub first: Translation,
+    /// Number of contiguous pages in the run (≥ 1).
+    pub len: u32,
+}
+
+impl CoalescedRun {
+    /// Expands the run into individual translations (for fill lines).
+    pub fn translations(&self) -> Vec<Translation> {
+        let step = self.first.size.pages_4k();
+        (0..u64::from(self.len))
+            .map(|i| Translation {
+                vpn: self.first.vpn.add_4k(i * step),
+                pfn: self.first.pfn.add_4k(i * step),
+                ..self.first
+            })
+            .collect()
+    }
+}
+
+/// The outcome of a TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The TLB holds a mapping covering the page.
+    Hit {
+        /// The covering mapping (base VPN/PFN of the page, its size and
+        /// permissions) — everything needed to form the physical address
+        /// and to fill an inner TLB level.
+        translation: Translation,
+        /// `true` when a store hit an entry whose dirty bit is clear: the
+        /// hardware must inject a PTE dirty-bit update micro-op
+        /// (paper Sec. 4.4).
+        dirty_microop: bool,
+        /// The coalesced run the hit entry covers, when the design tracks
+        /// one (MIX and COLT entries do; conventional entries report
+        /// `None`, equivalent to a run of 1).
+        run: Option<CoalescedRun>,
+    },
+    /// No covering entry; the page table must be walked.
+    Miss,
+}
+
+impl Lookup {
+    /// Returns the hit translation, if any.
+    pub fn translation(&self) -> Option<&Translation> {
+        match self {
+            Lookup::Hit { translation, .. } => Some(translation),
+            Lookup::Miss => None,
+        }
+    }
+
+    /// Returns `true` on a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Lookup::Hit { .. })
+    }
+}
+
+/// Event counters for performance and energy accounting.
+///
+/// `entries_read` counts tag+data reads across all probes (the dominant
+/// dynamic-energy term: a probe of a 4-way set reads 4 entries; a skewed
+/// TLB reads one entry per way of every group; hash-rehash pays per probe).
+/// `entries_written` counts fill writes — for MIX TLBs this exceeds `fills`
+/// because of mirroring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Hits by page size (index by [`PageSize::encode`]).
+    pub hits_by_size: [u64; 3],
+    /// Set probes across all lookups (hash-rehash pays several per lookup).
+    pub sets_probed: u64,
+    /// Entries (tag+data) read across all probes.
+    pub entries_read: u64,
+    /// Fill operations.
+    pub fills: u64,
+    /// Entry writes (≥ fills when mirroring).
+    pub entries_written: u64,
+    /// Valid entries displaced by fills.
+    pub evictions: u64,
+    /// Same-tag duplicate entries merged during lookups or fills
+    /// (paper Sec. 4.3).
+    pub dup_merges: u64,
+    /// Translations absorbed into existing coalesced entries.
+    pub coalesce_merges: u64,
+    /// Invalidation operations.
+    pub invalidations: u64,
+    /// Dirty-bit update micro-ops signalled on store hits.
+    pub dirty_microops: u64,
+    /// Extra *serial* probes beyond the first within single lookups —
+    /// hash-rehash designs pay one rehash latency per unit (the
+    /// variable-latency problem of Sec. 5.1). Parallel probes (split
+    /// sub-TLBs, skew ways) do not count.
+    pub serial_probes: u64,
+    /// Page-size predictor reads (prediction-based designs only).
+    pub predictor_reads: u64,
+    /// Page-size mispredictions (prediction-based designs only).
+    pub predictor_misses: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Records a hit of the given size (helper for [`TlbDevice`]
+    /// implementations, including those in other crates).
+    pub fn record_hit(&mut self, size: PageSize) {
+        self.hits += 1;
+        self.hits_by_size[size.encode() as usize] += 1;
+    }
+}
+
+/// A TLB design: the single interface the translation engine, the energy
+/// model, and the differential tests drive.
+///
+/// Implementations are *functional* models — they track which translations
+/// are cached and what each operation costs, not cycle-level timing.
+pub trait TlbDevice {
+    /// A short human-readable design name (e.g. `"mix-l1"`).
+    fn name(&self) -> &str;
+
+    /// Looks up the 4 KB virtual page `vpn`.
+    fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup;
+
+    /// Lookup with the requesting instruction's PC. Prediction-based
+    /// designs (which index a page-size predictor by PC, Sec. 5.1)
+    /// override this; everything else ignores the PC. The translation
+    /// engine always calls this form.
+    fn lookup_pc(&mut self, vpn: Vpn, kind: AccessKind, _pc: u64) -> Lookup {
+        self.lookup(vpn, kind)
+    }
+
+    /// Fills the TLB after a page-table walk. `vpn` is the 4 KB page whose
+    /// lookup missed (it determines the probed set); `requested` is the
+    /// leaf that resolved the miss; `line` is every leaf in the same PTE
+    /// cache line (including `requested`), which coalescing designs scan.
+    fn fill(&mut self, vpn: Vpn, requested: &Translation, line: &[Translation]);
+
+    /// Invalidates any cached translation for the page of the given size at
+    /// `vpn` (an OS shootdown).
+    fn invalidate(&mut self, vpn: Vpn, size: PageSize);
+
+    /// The coalesced run covering `vpn` in this TLB right now, without
+    /// touching statistics or replacement state. Coalescing designs
+    /// implement this so that, after a walk fills an outer level whose
+    /// entry already held neighbouring translations, the *merged* run can
+    /// be handed down to inner levels (the same datapath as a hit
+    /// handdown). Default: none.
+    fn peek_run(&self, _vpn: Vpn) -> Option<CoalescedRun> {
+        None
+    }
+
+    /// Drops every entry (a full shootdown / context switch without ASIDs).
+    fn flush(&mut self);
+
+    /// A copy of the accumulated statistics.
+    fn stats(&self) -> TlbStats;
+
+    /// Zeroes the statistics (entries are preserved).
+    fn reset_stats(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_types::{Permissions, Pfn};
+
+    #[test]
+    fn lookup_accessors() {
+        let t = Translation::new(
+            Vpn::new(4),
+            Pfn::new(9),
+            PageSize::Size4K,
+            Permissions::rw_user(),
+        );
+        let hit = Lookup::Hit {
+            translation: t,
+            dirty_microop: false,
+            run: None,
+        };
+        assert!(hit.is_hit());
+        assert_eq!(hit.translation(), Some(&t));
+        assert!(!Lookup::Miss.is_hit());
+        assert_eq!(Lookup::Miss.translation(), None);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut s = TlbStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.lookups = 4;
+        s.hits = 3;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_hit_tracks_sizes() {
+        let mut s = TlbStats::default();
+        s.record_hit(PageSize::Size2M);
+        s.record_hit(PageSize::Size2M);
+        s.record_hit(PageSize::Size1G);
+        assert_eq!(s.hits_by_size, [0, 2, 1]);
+        assert_eq!(s.hits, 3);
+    }
+}

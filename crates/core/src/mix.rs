@@ -1,0 +1,1115 @@
+//! The MIX TLB: one set-associative array for all page sizes.
+
+use std::collections::BTreeSet;
+
+use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, Vpn};
+
+use crate::api::{Lookup, TlbDevice, TlbStats};
+use crate::storage::SetStorage;
+
+/// How a MIX TLB entry records coalesced translations (paper Sec. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceKind {
+    /// L1 flavour: a bitmap with one bit per bundle position. Can represent
+    /// "holes", and invalidations clear single bits.
+    Bitmap,
+    /// L2 flavour: a (start, length) range. Denser for long runs, but
+    /// invalidation drops the whole entry (the paper's simple approach).
+    Length,
+}
+
+/// When a fill writes a mirror into a set, may it first tag-check that
+/// set for an existing same-bundle entry to merge into?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillMerge {
+    /// Only the set the missing lookup probed is checked; every other set
+    /// is mirrored blindly and duplicates are eliminated on later probes —
+    /// the paper's L1 behaviour (Sec. 4.3, Fig. 8).
+    ProbedSetOnly,
+    /// Every target set is tag-checked during the fill. The victim-way
+    /// selection already reads the set's replacement state, so the added
+    /// cost is a tag compare per way; L2 MIX TLBs (which tolerate more
+    /// complexity, Sec. 4) use this, and it is what lets length-field
+    /// entries converge to long runs under scattered miss patterns.
+    AllSets,
+}
+
+/// May a blind mirror write into a non-probed set evict a valid entry?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorPolicy {
+    /// Mirrors pick an LRU victim like any fill — the paper's L1
+    /// behaviour (Fig. 8 shows a mirror evicting a small-page entry).
+    Evicting,
+    /// Mirrors write only into invalid ways (write-enable = way invalid ∨
+    /// tag match) and never displace a valid entry; only the probed set
+    /// runs full replacement. This keeps the fill traffic of mirroring —
+    /// which reaches every set, while lookups touch only one — from
+    /// monopolizing the replacement state when the footprint exceeds the
+    /// TLB's coalesced reach. Cheap in hardware (no victim selection on
+    /// the mirror path) and the default for L2 MIX TLBs.
+    NonEvicting,
+}
+
+/// How coalescing treats dirty bits (paper Sec. 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirtyPolicy {
+    /// The entry's dirty bit is the AND of the bundle's dirty bits; stores
+    /// to not-all-dirty bundles inject PTE dirty micro-ops. The paper's
+    /// choice: full coalescing at the cost of some extra cache traffic.
+    AndOfBundle,
+    /// Only translations with *matching* dirty bits coalesce. No micro-op
+    /// ambiguity, but — as the paper found — it drastically reduces
+    /// coalescing opportunity (kept here to reproduce that claim).
+    MatchOnly,
+}
+
+/// Geometry and policy of a [`MixTlb`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixTlbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Bitmap (L1) or length (L2) coalescing.
+    pub kind: CoalesceKind,
+    /// Maximum superpages coalesced per entry (the *bundle* size; power of
+    /// two). The alignment restriction of Sec. 4.1 frames bundles at
+    /// `super_bundle × page-size` virtual boundaries. Defaults to the set
+    /// count — enough coalescing to offset mirroring.
+    pub super_bundle: u32,
+    /// Maximum 4 KB pages coalesced per entry: 1 disables small-page
+    /// coalescing (plain MIX); 4 gives the MIX+COLT design of Sec. 7.2.
+    /// Also a power of two. Small-page index bits shift accordingly.
+    pub small_bundle: u32,
+    /// Fill-time merge policy (see [`FillMerge`]).
+    pub fill_merge: FillMerge,
+    /// Mirror eviction policy (see [`MirrorPolicy`]).
+    pub mirror_policy: MirrorPolicy,
+    /// Dirty-bit coalescing policy (see [`DirtyPolicy`]).
+    pub dirty_policy: DirtyPolicy,
+    /// Extra left-shift applied to the index bits. 0 (the MIX design)
+    /// indexes at small-page granularity; 9 indexes with the 2 MB
+    /// superpage's bits — the rejected alternative of Sec. 3, which maps
+    /// groups of 512 adjacent small pages to one set (the
+    /// `superpage-indexed` baseline of the in-text experiment).
+    pub extra_index_shift: u32,
+    /// Design name for reports.
+    pub name: String,
+}
+
+impl MixTlbConfig {
+    /// An L1 MIX TLB (bitmap coalescing, bundle = set count).
+    pub fn l1(sets: usize, ways: usize) -> MixTlbConfig {
+        MixTlbConfig {
+            sets,
+            ways,
+            kind: CoalesceKind::Bitmap,
+            super_bundle: sets as u32,
+            small_bundle: 1,
+            fill_merge: FillMerge::ProbedSetOnly,
+            mirror_policy: MirrorPolicy::Evicting,
+            dirty_policy: DirtyPolicy::AndOfBundle,
+            extra_index_shift: 0,
+            name: "mix-l1".to_owned(),
+        }
+    }
+
+    /// An L2 MIX TLB (length coalescing, bundle = set count).
+    pub fn l2(sets: usize, ways: usize) -> MixTlbConfig {
+        MixTlbConfig {
+            sets,
+            ways,
+            kind: CoalesceKind::Length,
+            super_bundle: sets as u32,
+            small_bundle: 1,
+            fill_merge: FillMerge::AllSets,
+            mirror_policy: MirrorPolicy::NonEvicting,
+            dirty_policy: DirtyPolicy::AndOfBundle,
+            extra_index_shift: 0,
+            name: "mix-l2".to_owned(),
+        }
+    }
+
+    /// Enables COLT-style coalescing of up to `n` contiguous 4 KB pages
+    /// (the paper compares against `n = 4`).
+    pub fn with_small_coalescing(mut self, n: u32) -> MixTlbConfig {
+        self.small_bundle = n;
+        self.name = format!("{}+colt", self.name);
+        self
+    }
+
+    /// Renames the design.
+    pub fn named(mut self, name: &str) -> MixTlbConfig {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Total entries (for area-equivalence arguments).
+    pub fn total_entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(self.super_bundle.is_power_of_two(), "super_bundle must be a power of two");
+        assert!(self.small_bundle.is_power_of_two(), "small_bundle must be a power of two");
+        assert!(
+            self.kind == CoalesceKind::Length || self.super_bundle <= 128,
+            "bitmap entries support at most 128 bundle positions"
+        );
+        assert!(self.small_bundle <= 128, "small bundles above 128 are not supported");
+    }
+}
+
+/// Coalescing state of one entry: which bundle positions are present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Map {
+    Bits(u128),
+    Range { start: u32, len: u32 },
+}
+
+impl Map {
+    fn contains(&self, pos: u32) -> bool {
+        match *self {
+            Map::Bits(bits) => bits & (1u128 << pos) != 0,
+            Map::Range { start, len } => pos >= start && pos < start + len,
+        }
+    }
+
+    fn count(&self) -> u32 {
+        match *self {
+            Map::Bits(bits) => bits.count_ones(),
+            Map::Range { len, .. } => len,
+        }
+    }
+
+    /// Merges `other` into `self` where the representation allows. Returns
+    /// `true` if the merge succeeded (bitmaps always merge; ranges merge
+    /// only when the union is contiguous).
+    fn merge(&mut self, other: &Map) -> bool {
+        match (&mut *self, other) {
+            (Map::Bits(mine), Map::Bits(theirs)) => {
+                *mine |= theirs;
+                true
+            }
+            (Map::Range { start, len }, Map::Range { start: s2, len: l2 }) => {
+                let (a1, e1) = (*start, *start + *len);
+                let (a2, e2) = (*s2, *s2 + *l2);
+                if a2 > e1 || a1 > e2 {
+                    return false; // disjoint, non-adjacent
+                }
+                let a = a1.min(a2);
+                let e = e1.max(e2);
+                *start = a;
+                *len = e - a;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MixEntry {
+    size: PageSize,
+    /// Bundle-base VPN (aligned to the bundle span).
+    bundle_base: Vpn,
+    /// PFN anchor for `bundle_base`: present position `p` maps to
+    /// `anchor + p × pages_4k` (wrapping arithmetic; the anchor itself may
+    /// be synthetic when position 0 is absent).
+    anchor_pfn: u64,
+    map: Map,
+    perms: Permissions,
+    /// Set only when *every* coalesced translation is dirty (Sec. 4.4).
+    dirty: bool,
+}
+
+impl MixEntry {
+    fn tag_matches(&self, size: PageSize, bundle_base: Vpn) -> bool {
+        self.size == size && self.bundle_base == bundle_base
+    }
+
+    fn pfn_for(&self, pos: u32) -> Pfn {
+        Pfn::new(
+            self.anchor_pfn
+                .wrapping_add(u64::from(pos) * self.size.pages_4k()),
+        )
+    }
+}
+
+/// The MIX TLB (paper Secs. 3-4): small-page index bits for every page
+/// size, superpage entries mirrored across sets, contiguous superpages
+/// coalesced into single entries, duplicates merged lazily on lookup.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone)]
+pub struct MixTlb {
+    config: MixTlbConfig,
+    storage: SetStorage<MixEntry>,
+    stats: TlbStats,
+}
+
+impl MixTlb {
+    /// Creates an empty MIX TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (non-power-of-two
+    /// geometry, or bitmap bundles above 128).
+    pub fn new(config: MixTlbConfig) -> MixTlb {
+        config.validate();
+        let storage = SetStorage::new(config.sets, config.ways);
+        MixTlb {
+            config,
+            storage,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MixTlbConfig {
+        &self.config
+    }
+
+    /// Number of valid entries (mirrors counted individually).
+    pub fn occupancy(&self) -> usize {
+        self.storage.occupancy()
+    }
+
+    /// Index shift: small-page coalescing groups `small_bundle` consecutive
+    /// 4 KB pages per set.
+    fn index_shift(&self) -> u32 {
+        self.config.small_bundle.trailing_zeros() + self.config.extra_index_shift
+    }
+
+    /// The probed set for a 4 KB virtual page — one probe, no page size
+    /// needed (the design's point; paper Fig. 4).
+    fn set_of(&self, vpn: Vpn) -> usize {
+        ((vpn.raw() >> self.index_shift()) as usize) & (self.config.sets - 1)
+    }
+
+    fn bundle_pages(&self, size: PageSize) -> u64 {
+        let count = if size.is_superpage() {
+            self.config.super_bundle
+        } else {
+            self.config.small_bundle
+        };
+        u64::from(count) * size.pages_4k()
+    }
+
+    fn bundle_base(&self, vpn: Vpn, size: PageSize) -> Vpn {
+        Vpn::new(vpn.raw() & !(self.bundle_pages(size) - 1))
+    }
+
+    fn pos_of(&self, vpn: Vpn, size: PageSize) -> u32 {
+        let base = self.bundle_base(vpn, size);
+        ((vpn.raw() - base.raw()) / size.pages_4k()) as u32
+    }
+
+    /// Merges same-tag duplicate entries in a set into the first, removing
+    /// the rest (paper Sec. 4.3: duplicates from blind mirroring are
+    /// eliminated when the set is next probed).
+    fn eliminate_duplicates(&mut self, set: usize) {
+        let mut seen: Vec<(usize, PageSize, Vpn, u64)> = Vec::new();
+        for way in 0..self.storage.ways() {
+            let Some(e) = self.storage.get(set, way) else { continue };
+            let key = (e.size, e.bundle_base, e.anchor_pfn);
+            if let Some(&(first_way, ..)) = seen
+                .iter()
+                .find(|&&(_, s, b, a)| (s, b, a) == key)
+            {
+                // Merge when the representation allows. Disjoint length
+                // ranges are *not* duplicates — they are different
+                // coalesced fragments of the bundle — and both stay.
+                let dup_map = self.storage.get(set, way).expect("way is valid").map;
+                let dup_dirty = self.storage.get(set, way).expect("way is valid").dirty;
+                let first = self
+                    .storage
+                    .get_mut(set, first_way)
+                    .expect("first entry is valid");
+                let mut merged_map = first.map;
+                if merged_map.merge(&dup_map) {
+                    first.map = merged_map;
+                    first.dirty = first.dirty && dup_dirty;
+                    self.storage.remove(set, way);
+                    self.stats.dup_merges += 1;
+                } else {
+                    seen.push((way, key.0, key.1, key.2));
+                }
+            } else {
+                seen.push((way, key.0, key.1, key.2));
+            }
+        }
+    }
+
+    /// The sets a fill must mirror into: every set touched by a 4 KB region
+    /// of a present page. With `pages_4k ≥ sets × small_bundle` (all real
+    /// configurations) that is every set.
+    fn mirror_sets(&self, size: PageSize, bundle_base: Vpn, map: &Map) -> Vec<usize> {
+        let shift = self.index_shift();
+        let regions_per_page = (size.pages_4k() >> shift).max(1);
+        if regions_per_page >= self.config.sets as u64 {
+            return (0..self.config.sets).collect();
+        }
+        let bundle_count = (self.bundle_pages(size) / size.pages_4k()) as u32;
+        let mut sets = BTreeSet::new();
+        for pos in 0..bundle_count {
+            if !map.contains(pos) {
+                continue;
+            }
+            let first_vpn = bundle_base.raw() + u64::from(pos) * size.pages_4k();
+            for r in 0..regions_per_page {
+                let vpn = Vpn::new(first_vpn + (r << shift));
+                sets.insert(self.set_of(vpn));
+            }
+        }
+        sets.into_iter().collect()
+    }
+
+    /// Builds the coalesced map for a fill: scans `line` for translations
+    /// in the same bundle that are contiguous with `requested` (same size
+    /// and permissions, accessed, physically consistent with the anchor).
+    fn build_fill(&self, requested: &Translation, line: &[Translation]) -> (MixEntry, u32) {
+        let size = requested.size;
+        let base = self.bundle_base(requested.vpn, size);
+        let anchor = requested
+            .pfn
+            .raw()
+            .wrapping_sub(requested.vpn.raw() - base.raw());
+        let bundle_count = (self.bundle_pages(size) / size.pages_4k()) as u32;
+        let mut positions: Vec<(u32, bool)> = Vec::with_capacity(line.len().max(1));
+        let push = |t: &Translation, positions: &mut Vec<(u32, bool)>| {
+            if t.size == size
+                && t.perms == requested.perms
+                && t.accessed
+                && (self.config.dirty_policy == DirtyPolicy::AndOfBundle
+                    || t.dirty == requested.dirty)
+                && self.bundle_base(t.vpn, size) == base
+                && t.pfn.raw() == anchor.wrapping_add(t.vpn.raw() - base.raw())
+            {
+                let pos = self.pos_of(t.vpn, size);
+                if !positions.iter().any(|&(p, _)| p == pos) {
+                    positions.push((pos, t.dirty));
+                }
+            }
+        };
+        for t in line {
+            push(t, &mut positions);
+        }
+        push(requested, &mut positions);
+        debug_assert!(!positions.is_empty(), "requested translation always qualifies");
+        let req_pos = self.pos_of(requested.vpn, size);
+        let map = match self.config.kind {
+            CoalesceKind::Bitmap => {
+                let mut bits = 0u128;
+                for &(p, _) in &positions {
+                    bits |= 1u128 << p;
+                }
+                Map::Bits(bits)
+            }
+            CoalesceKind::Length => {
+                // Maximal contiguous run of positions containing req_pos.
+                let present: BTreeSet<u32> = positions.iter().map(|&(p, _)| p).collect();
+                let mut start = req_pos;
+                while start > 0 && present.contains(&(start - 1)) {
+                    start -= 1;
+                }
+                let mut end = req_pos + 1;
+                while end < bundle_count && present.contains(&end) {
+                    end += 1;
+                }
+                Map::Range {
+                    start,
+                    len: end - start,
+                }
+            }
+        };
+        // Entry dirty bit: AND over the coalesced translations (Sec. 4.4).
+        let dirty = positions
+            .iter()
+            .filter(|&&(p, _)| map.contains(p))
+            .all(|&(_, d)| d);
+        (
+            MixEntry {
+                size,
+                bundle_base: base,
+                anchor_pfn: anchor,
+                map,
+                perms: requested.perms,
+                dirty,
+            },
+            map.count(),
+        )
+    }
+}
+
+impl TlbDevice for MixTlb {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup {
+        self.stats.lookups += 1;
+        let set = self.set_of(vpn);
+        self.stats.sets_probed += 1;
+        self.stats.entries_read += self.config.ways as u64;
+        // All entries in the probed set are tag-checked in parallel; this
+        // is also when duplicate mirrors are detected and merged.
+        self.eliminate_duplicates(set);
+        let mut found: Option<usize> = None;
+        for way in 0..self.storage.ways() {
+            let Some(e) = self.storage.get(set, way) else { continue };
+            let base = self.bundle_base(vpn, e.size);
+            if e.bundle_base == base && e.map.contains(self.pos_of(vpn, e.size)) {
+                found = Some(way);
+                break;
+            }
+        }
+        let Some(way) = found else {
+            self.stats.misses += 1;
+            return Lookup::Miss;
+        };
+        self.storage.touch(set, way);
+        let singleton = {
+            let e = self.storage.get(set, way).expect("hit way is valid");
+            e.map.count() == 1
+        };
+        let mut dirty_microop = false;
+        if kind.is_store() {
+            let e = self.storage.get_mut(set, way).expect("hit way is valid");
+            if !e.dirty {
+                dirty_microop = true;
+                self.stats.dirty_microops += 1;
+                // Only a singleton entry can flip its dirty bit: for a
+                // coalesced bundle the bit means "all members dirty", which
+                // one store cannot establish (Sec. 4.4).
+                if singleton {
+                    e.dirty = true;
+                }
+            }
+        }
+        let e = *self.storage.get(set, way).expect("hit way is valid");
+        let pos = self.pos_of(vpn, e.size);
+        self.stats.record_hit(e.size);
+        // The maximal contiguous run around the hit: what an inner MIX TLB
+        // can absorb on refill.
+        let bundle_count = (self.bundle_pages(e.size) / e.size.pages_4k()) as u32;
+        let mut run_start = pos;
+        while run_start > 0 && e.map.contains(run_start - 1) {
+            run_start -= 1;
+        }
+        let mut run_end = pos + 1;
+        while run_end < bundle_count && e.map.contains(run_end) {
+            run_end += 1;
+        }
+        let run_first = Translation {
+            vpn: Vpn::new(e.bundle_base.raw() + u64::from(run_start) * e.size.pages_4k()),
+            pfn: e.pfn_for(run_start),
+            size: e.size,
+            perms: e.perms,
+            accessed: true,
+            dirty: e.dirty,
+        };
+        Lookup::Hit {
+            translation: Translation {
+                vpn: Vpn::new(e.bundle_base.raw() + u64::from(pos) * e.size.pages_4k()),
+                pfn: e.pfn_for(pos),
+                size: e.size,
+                perms: e.perms,
+                accessed: true,
+                dirty: e.dirty,
+            },
+            dirty_microop,
+            run: Some(crate::api::CoalescedRun {
+                first: run_first,
+                len: run_end - run_start,
+            }),
+        }
+    }
+
+    fn fill(&mut self, vpn: Vpn, requested: &Translation, line: &[Translation]) {
+        self.stats.fills += 1;
+        let (entry, _coalesced) = self.build_fill(requested, line);
+        let probed_set = self.set_of(vpn);
+        let targets = self.mirror_sets(entry.size, entry.bundle_base, &entry.map);
+        for set in targets {
+            // Only the set the missing lookup probed is tag-checked for a
+            // same-bundle entry to merge into — this is how coalescing
+            // extends past one cache line (Sec. 4.2). Other sets are
+            // mirrored *blindly*: checking them all would be an
+            // energy-expensive full-TLB scan, so duplicates may arise and
+            // are eliminated when those sets are next probed (Sec. 4.3,
+            // Fig. 8).
+            if set == probed_set || self.config.fill_merge == FillMerge::AllSets {
+                // Merge only into an entry of the same bundle *and the
+                // same physical anchor*: bundles whose physical backing is
+                // piecewise-linear (common under nested translation, where
+                // host runs break guest runs) legitimately hold several
+                // fragments with different anchors side by side.
+                let dirty_policy = self.config.dirty_policy;
+                if let Some(way) = self.storage.find(set, |e| {
+                    e.tag_matches(entry.size, entry.bundle_base)
+                        && e.anchor_pfn == entry.anchor_pfn
+                        && e.perms == entry.perms
+                        && (dirty_policy == DirtyPolicy::AndOfBundle || e.dirty == entry.dirty)
+                }) {
+                    self.storage.touch(set, way);
+                    let existing = self.storage.get_mut(set, way).expect("found way is valid");
+                    let before = existing.map.count();
+                    if existing.map.merge(&entry.map) {
+                        existing.dirty = existing.dirty && entry.dirty;
+                        if existing.map.count() > before {
+                            self.stats.coalesce_merges += 1;
+                        }
+                        self.stats.entries_written += 1;
+                        continue;
+                    }
+                    // Disjoint length ranges of the same bundle cannot be
+                    // represented in one entry: fall through and insert a
+                    // separate fragment entry.
+                }
+            }
+            if set != probed_set && self.config.mirror_policy == MirrorPolicy::NonEvicting {
+                // Opportunistic mirror: only an invalid way may take it.
+                if let Some(way) = (0..self.storage.ways())
+                    .find(|&w| self.storage.get(set, w).is_none())
+                {
+                    self.storage.insert_at(set, way, entry);
+                    self.stats.entries_written += 1;
+                }
+                continue;
+            }
+            let evicted = self.storage.insert_lru(set, entry);
+            self.stats.entries_written += 1;
+            if evicted.is_some() {
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    fn peek_run(&self, vpn: Vpn) -> Option<crate::api::CoalescedRun> {
+        let set = self.set_of(vpn);
+        for way in 0..self.storage.ways() {
+            let Some(e) = self.storage.get(set, way) else { continue };
+            let base = self.bundle_base(vpn, e.size);
+            if e.bundle_base != base {
+                continue;
+            }
+            let pos = self.pos_of(vpn, e.size);
+            if !e.map.contains(pos) {
+                continue;
+            }
+            let bundle_count = (self.bundle_pages(e.size) / e.size.pages_4k()) as u32;
+            let mut run_start = pos;
+            while run_start > 0 && e.map.contains(run_start - 1) {
+                run_start -= 1;
+            }
+            let mut run_end = pos + 1;
+            while run_end < bundle_count && e.map.contains(run_end) {
+                run_end += 1;
+            }
+            return Some(crate::api::CoalescedRun {
+                first: Translation {
+                    vpn: Vpn::new(
+                        e.bundle_base.raw() + u64::from(run_start) * e.size.pages_4k(),
+                    ),
+                    pfn: e.pfn_for(run_start),
+                    size: e.size,
+                    perms: e.perms,
+                    accessed: true,
+                    dirty: e.dirty,
+                },
+                len: run_end - run_start,
+            });
+        }
+        None
+    }
+
+    fn invalidate(&mut self, vpn: Vpn, size: PageSize) {
+        self.stats.invalidations += 1;
+        let base = self.bundle_base(vpn, size);
+        let pos = self.pos_of(vpn, size);
+        for set in 0..self.config.sets {
+            for way in self.storage.find_all(set, |e| e.tag_matches(size, base)) {
+                match self.config.kind {
+                    CoalesceKind::Bitmap => {
+                        let remove = {
+                            let e = self.storage.get_mut(set, way).expect("way is valid");
+                            if let Map::Bits(bits) = &mut e.map {
+                                *bits &= !(1u128 << pos);
+                                *bits == 0
+                            } else {
+                                true
+                            }
+                        };
+                        if remove {
+                            self.storage.remove(set, way);
+                        }
+                    }
+                    CoalesceKind::Length => {
+                        // The paper's simple approach: drop the whole
+                        // coalesced bundle if it contains the page.
+                        let covers = self
+                            .storage
+                            .get(set, way)
+                            .is_some_and(|e| e.map.contains(pos));
+                        if covers {
+                            self.storage.remove(set, way);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        self.storage.clear();
+    }
+
+    fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw() -> Permissions {
+        Permissions::rw_user()
+    }
+
+    fn sp2m(vpn: u64, pfn: u64) -> Translation {
+        Translation::new(Vpn::new(vpn), Pfn::new(pfn), PageSize::Size2M, rw())
+    }
+
+    fn t4k(vpn: u64, pfn: u64) -> Translation {
+        Translation::new(Vpn::new(vpn), Pfn::new(pfn), PageSize::Size4K, rw())
+    }
+
+    fn hit_pfn(tlb: &mut MixTlb, vpn: u64) -> Option<u64> {
+        match tlb.lookup(Vpn::new(vpn), AccessKind::Load) {
+            Lookup::Hit { translation, .. } => {
+                translation.frame_for(Vpn::new(vpn)).map(|p| p.raw())
+            }
+            Lookup::Miss => None,
+        }
+    }
+
+    #[test]
+    fn paper_figure_2_scenario() {
+        // 2-set MIX TLB; contiguous superpages B (0x400→0x000) and
+        // C (0x600→0x200) coalesce; A is a small page.
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let a = t4k(0x0, 0x400);
+        tlb.fill(a.vpn, &a, &[a]);
+        let b = sp2m(0x400, 0x000);
+        let c = sp2m(0x600, 0x200);
+        tlb.fill(b.vpn, &b, &[b, c]);
+        // B's even 4 KB regions route to set 0, odd to set 1 — all hit.
+        assert_eq!(hit_pfn(&mut tlb, 0x400), Some(0x000));
+        assert_eq!(hit_pfn(&mut tlb, 0x401), Some(0x001));
+        assert_eq!(hit_pfn(&mut tlb, 0x473), Some(0x073));
+        // C hits through the same coalesced entry.
+        assert_eq!(hit_pfn(&mut tlb, 0x600), Some(0x200));
+        assert_eq!(hit_pfn(&mut tlb, 0x7FF), Some(0x3FF));
+        // A still hits: MIX TLBs cache all sizes concurrently.
+        assert_eq!(hit_pfn(&mut tlb, 0x0), Some(0x400));
+        // One fill for B+C, mirrored into both sets.
+        let s = tlb.stats();
+        assert_eq!(s.fills, 2);
+        assert_eq!(s.entries_written, 1 + 2);
+    }
+
+    #[test]
+    fn lookup_probes_exactly_one_set() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(16, 4));
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill(b.vpn, &b, &[b]);
+        tlb.lookup(Vpn::new(0x400), AccessKind::Load);
+        let s = tlb.stats();
+        assert_eq!(s.sets_probed, 1);
+        assert_eq!(s.entries_read, 4);
+    }
+
+    #[test]
+    fn superpage_mirrors_into_every_set() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(16, 4));
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill(b.vpn, &b, &[b]);
+        assert_eq!(tlb.occupancy(), 16);
+        assert_eq!(tlb.stats().entries_written, 16);
+        // Every 4 KB region of B hits, whichever set it routes to.
+        for off in [0u64, 1, 7, 100, 255, 511] {
+            assert_eq!(hit_pfn(&mut tlb, 0x400 + off), Some(0x2000 + off));
+        }
+    }
+
+    #[test]
+    fn coalescing_counteracts_mirroring() {
+        // 16 contiguous superpages fill a 16-set TLB with ONE logical
+        // entry (16 mirrors) — net capacity of 16 superpages in 16 slots,
+        // with 3 ways left free everywhere.
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(16, 4));
+        let line1: Vec<Translation> =
+            (0..8).map(|i| sp2m(0x4000 + i * 512, 0x10_0000 + i * 512)).collect();
+        let line2: Vec<Translation> =
+            (8..16).map(|i| sp2m(0x4000 + i * 512, 0x10_0000 + i * 512)).collect();
+        tlb.fill(line1[0].vpn, &line1[0], &line1);
+        // The second fill merges in its probed set and blindly mirrors
+        // elsewhere, transiently duplicating until those sets are probed.
+        tlb.fill(line2[0].vpn, &line2[0], &line2); // extension beyond one cache line
+        // Touch every set (offset i routes superpage i's region to set i):
+        // all 16 superpages hit and duplicates get merged on the way.
+        for i in 0..16u64 {
+            let vpn = 0x4000 + i * 512 + i;
+            assert_eq!(hit_pfn(&mut tlb, vpn), Some(0x10_0000 + i * 512 + i));
+        }
+        assert_eq!(tlb.occupancy(), 16);
+        assert!(tlb.stats().coalesce_merges > 0);
+    }
+
+    #[test]
+    fn alignment_restriction_frames_bundles() {
+        // Bundle = 2 superpages → only superpages in the same aligned pair
+        // coalesce. 0x600 and 0x800 are contiguous but straddle a bundle
+        // boundary (pairs are [0x400,0x800) and [0x800,0xC00)).
+        let mut tlb = MixTlb::new(MixTlbConfig {
+            super_bundle: 2,
+            ..MixTlbConfig::l1(2, 4)
+        });
+        let x = sp2m(0x600, 0x1200);
+        let y = sp2m(0x800, 0x1400);
+        tlb.fill(x.vpn, &x, &[x, y]);
+        // x cached; y NOT coalesced (different bundle) and not filled.
+        assert_eq!(hit_pfn(&mut tlb, 0x600), Some(0x1200));
+        assert_eq!(hit_pfn(&mut tlb, 0x800), None);
+    }
+
+    #[test]
+    fn non_contiguous_superpages_do_not_coalesce() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 4));
+        let b = sp2m(0x400, 0x2000);
+        let c_far = sp2m(0x600, 0x9000); // virtually adjacent, physically not
+        tlb.fill(b.vpn, &b, &[b, c_far]);
+        assert_eq!(hit_pfn(&mut tlb, 0x400), Some(0x2000));
+        assert_eq!(hit_pfn(&mut tlb, 0x600), None);
+        // A separate fill caches C as its own entry under the same bundle
+        // tag but different anchor.
+        tlb.fill(c_far.vpn, &c_far, &[c_far]);
+        assert_eq!(hit_pfn(&mut tlb, 0x600), Some(0x9000));
+    }
+
+    #[test]
+    fn different_permissions_do_not_coalesce() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 4));
+        let b = sp2m(0x400, 0x2000);
+        let mut c = sp2m(0x600, 0x2200);
+        c.perms = Permissions::ro_user();
+        tlb.fill(b.vpn, &b, &[b, c]);
+        assert_eq!(hit_pfn(&mut tlb, 0x400), Some(0x2000));
+        assert_eq!(hit_pfn(&mut tlb, 0x600), None);
+    }
+
+    #[test]
+    fn unaccessed_translations_are_not_coalesced() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 4));
+        let b = sp2m(0x400, 0x2000);
+        let mut c = sp2m(0x600, 0x2200);
+        c.accessed = false;
+        tlb.fill(b.vpn, &b, &[b, c]);
+        assert_eq!(hit_pfn(&mut tlb, 0x600), None);
+    }
+
+    #[test]
+    fn bitmap_entries_support_holes() {
+        // Bundle of 4; positions 0 and 2 contiguous-with-anchor, 1 absent.
+        let mut tlb = MixTlb::new(MixTlbConfig {
+            super_bundle: 4,
+            ..MixTlbConfig::l1(2, 4)
+        });
+        let p0 = sp2m(0x1000, 0x20000);
+        let p2 = sp2m(0x1400, 0x20400);
+        tlb.fill(p0.vpn, &p0, &[p0, p2]);
+        assert_eq!(hit_pfn(&mut tlb, 0x1000), Some(0x20000));
+        assert_eq!(hit_pfn(&mut tlb, 0x1200), None); // the hole
+        assert_eq!(hit_pfn(&mut tlb, 0x1400), Some(0x20400));
+    }
+
+    #[test]
+    fn length_entries_keep_only_the_run_around_the_request() {
+        let mut tlb = MixTlb::new(MixTlbConfig {
+            super_bundle: 4,
+            ..MixTlbConfig::l2(2, 4)
+        });
+        let p0 = sp2m(0x1000, 0x20000);
+        let p2 = sp2m(0x1400, 0x20400);
+        let p3 = sp2m(0x1600, 0x20600);
+        // Request p2: run {2,3}; the disjoint p0 is not representable.
+        tlb.fill(p2.vpn, &p2, &[p0, p2, p3]);
+        assert_eq!(hit_pfn(&mut tlb, 0x1400), Some(0x20400));
+        assert_eq!(hit_pfn(&mut tlb, 0x1600), Some(0x20600));
+        assert_eq!(hit_pfn(&mut tlb, 0x1000), None);
+    }
+
+    #[test]
+    fn paper_figure_8_duplicates_are_merged_on_probe() {
+        // 2-set, 2-way. B-C coalesced; then D and E (small, set 1) evict
+        // set 1's mirror; a B1 miss refills, duplicating in set 0; the next
+        // set-0 probe merges duplicates.
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let a = t4k(0x0, 0x400);
+        tlb.fill(a.vpn, &a, &[a]);
+        let b = sp2m(0x400, 0x000);
+        let c = sp2m(0x600, 0x200);
+        tlb.fill(b.vpn, &b, &[b, c]);
+        // D, E: small pages mapping to set 1 (odd VPNs).
+        let d = t4k(0x801, 0x900);
+        let e = t4k(0x803, 0x901);
+        tlb.fill(d.vpn, &d, &[d]);
+        tlb.fill(e.vpn, &e, &[e]);
+        // Set 1's B-C mirror is gone: B1 (odd region) misses.
+        assert_eq!(hit_pfn(&mut tlb, 0x401), None);
+        // Refill after the B1 miss (probed set = 1): set 1 merges/inserts,
+        // set 0 is mirrored *blindly*, creating a duplicate (evicting A).
+        tlb.fill(Vpn::new(0x401), &b, &[b, c]);
+        assert_eq!(hit_pfn(&mut tlb, 0x401), Some(0x001));
+        // Probing set 0 merges the duplicate copies.
+        assert_eq!(hit_pfn(&mut tlb, 0x400), Some(0x000));
+        assert!(tlb.stats().dup_merges >= 1);
+        let dups = tlb
+            .storage
+            .find_all(0, |en| en.tag_matches(PageSize::Size2M, Vpn::new(0x400)));
+        assert_eq!(dups.len(), 1, "duplicates must be eliminated");
+    }
+
+    #[test]
+    fn replacement_is_independent_per_set() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 1));
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill(b.vpn, &b, &[b]);
+        // A small page in set 1 evicts only that mirror.
+        let d = t4k(0x801, 0x900);
+        tlb.fill(d.vpn, &d, &[d]);
+        assert_eq!(hit_pfn(&mut tlb, 0x400), Some(0x2000)); // set 0 intact
+        assert_eq!(hit_pfn(&mut tlb, 0x801), Some(0x900));
+        assert_eq!(hit_pfn(&mut tlb, 0x403), None); // set 1 mirror gone
+    }
+
+    #[test]
+    fn bitmap_invalidation_clears_single_superpages() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let b = sp2m(0x400, 0x000);
+        let c = sp2m(0x600, 0x200);
+        tlb.fill(b.vpn, &b, &[b, c]);
+        tlb.invalidate(Vpn::new(0x400), PageSize::Size2M);
+        // B gone from every set; C remains cached (Sec. 4.4).
+        assert_eq!(hit_pfn(&mut tlb, 0x400), None);
+        assert_eq!(hit_pfn(&mut tlb, 0x401), None);
+        assert_eq!(hit_pfn(&mut tlb, 0x600), Some(0x200));
+    }
+
+    #[test]
+    fn length_invalidation_drops_the_bundle() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l2(2, 2));
+        let b = sp2m(0x400, 0x000);
+        let c = sp2m(0x600, 0x200);
+        tlb.fill(b.vpn, &b, &[b, c]);
+        tlb.invalidate(Vpn::new(0x400), PageSize::Size2M);
+        assert_eq!(hit_pfn(&mut tlb, 0x400), None);
+        assert_eq!(hit_pfn(&mut tlb, 0x600), None);
+    }
+
+    #[test]
+    fn small_page_invalidation() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let a = t4k(0x5, 0x50);
+        tlb.fill(a.vpn, &a, &[a]);
+        tlb.invalidate(Vpn::new(0x5), PageSize::Size4K);
+        assert_eq!(hit_pfn(&mut tlb, 0x5), None);
+    }
+
+    #[test]
+    fn dirty_bit_is_and_of_bundle() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let mut b = sp2m(0x400, 0x000);
+        b.dirty = true;
+        let c = sp2m(0x600, 0x200); // clean
+        tlb.fill(b.vpn, &b, &[b, c]);
+        // Store to B: entry dirty bit is clear (AND), so a micro-op fires —
+        // and keeps firing, because one store cannot dirty the whole bundle.
+        for _ in 0..2 {
+            match tlb.lookup(Vpn::new(0x400), AccessKind::Store) {
+                Lookup::Hit { dirty_microop, .. } => assert!(dirty_microop),
+                Lookup::Miss => panic!("expected hit"),
+            }
+        }
+        assert_eq!(tlb.stats().dirty_microops, 2);
+    }
+
+    #[test]
+    fn match_only_dirty_policy_blocks_mixed_coalescing() {
+        // B dirty, C clean: under MatchOnly they do not coalesce (the
+        // paper evaluated and rejected this for losing coalescing).
+        let mut tlb = MixTlb::new(MixTlbConfig {
+            dirty_policy: DirtyPolicy::MatchOnly,
+            ..MixTlbConfig::l1(2, 2)
+        });
+        let mut b = sp2m(0x400, 0x000);
+        b.dirty = true;
+        let c = sp2m(0x600, 0x200);
+        tlb.fill(b.vpn, &b, &[b, c]);
+        assert_eq!(hit_pfn(&mut tlb, 0x400), Some(0x000));
+        assert_eq!(hit_pfn(&mut tlb, 0x600), None, "mixed dirty must not coalesce");
+        // Same-dirty pairs still coalesce.
+        let mut tlb2 = MixTlb::new(MixTlbConfig {
+            dirty_policy: DirtyPolicy::MatchOnly,
+            ..MixTlbConfig::l1(2, 2)
+        });
+        tlb2.fill(b.vpn, &b, &[b, { let mut c2 = c; c2.dirty = true; c2 }]);
+        assert_eq!(hit_pfn(&mut tlb2, 0x600), Some(0x200));
+    }
+
+    #[test]
+    fn all_dirty_bundle_needs_no_microops() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let mut b = sp2m(0x400, 0x000);
+        b.dirty = true;
+        let mut c = sp2m(0x600, 0x200);
+        c.dirty = true;
+        tlb.fill(b.vpn, &b, &[b, c]);
+        match tlb.lookup(Vpn::new(0x400), AccessKind::Store) {
+            Lookup::Hit { dirty_microop, .. } => assert!(!dirty_microop),
+            Lookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn singleton_entries_set_dirty_after_microop() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let a = t4k(0x5, 0x50);
+        tlb.fill(a.vpn, &a, &[a]);
+        match tlb.lookup(Vpn::new(0x5), AccessKind::Store) {
+            Lookup::Hit { dirty_microop, .. } => assert!(dirty_microop),
+            Lookup::Miss => panic!("expected hit"),
+        }
+        match tlb.lookup(Vpn::new(0x5), AccessKind::Store) {
+            Lookup::Hit { dirty_microop, .. } => assert!(!dirty_microop),
+            Lookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn colt_coalesces_small_pages() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(4, 2).with_small_coalescing(4));
+        let line: Vec<Translation> = (0..4).map(|i| t4k(0x100 + i, 0x900 + i)).collect();
+        tlb.fill(line[0].vpn, &line[0], &line);
+        for i in 0..4u64 {
+            assert_eq!(hit_pfn(&mut tlb, 0x100 + i), Some(0x900 + i));
+        }
+        // One entry, one set: aligned groups of 4 small pages share a set.
+        assert_eq!(tlb.occupancy(), 1);
+        // Superpages still work and still mirror into all sets.
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill(b.vpn, &b, &[b]);
+        assert_eq!(hit_pfn(&mut tlb, 0x4F0), Some(0x20F0));
+        assert_eq!(tlb.occupancy(), 1 + 4);
+    }
+
+    #[test]
+    fn one_gigabyte_pages_are_supported() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(16, 4));
+        let g0 = Translation::new(
+            Vpn::new(0),
+            Pfn::new(2 << 18),
+            PageSize::Size1G,
+            rw(),
+        );
+        let g1 = Translation::new(
+            Vpn::new(1 << 18),
+            Pfn::new(3 << 18),
+            PageSize::Size1G,
+            rw(),
+        );
+        tlb.fill(g0.vpn, &g0, &[g0, g1]);
+        assert_eq!(hit_pfn(&mut tlb, 123_456), Some((2 << 18) + 123_456));
+        assert_eq!(
+            hit_pfn(&mut tlb, (1 << 18) + 77),
+            Some((3 << 18) + 77)
+        );
+        assert_eq!(tlb.occupancy(), 16);
+    }
+
+    #[test]
+    fn remap_after_shootdown_serves_the_new_frame() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill(b.vpn, &b, &[b]);
+        // The OS moved B (e.g. compaction): x86 requires a shootdown
+        // before the new mapping is used. Without it, same-bundle entries
+        // with different anchors may coexist (legitimate for piecewise
+        // bundles) and stale hits would be architecturally undefined.
+        tlb.invalidate(Vpn::new(0x400), PageSize::Size2M);
+        let b2 = sp2m(0x400, 0x8000);
+        tlb.fill(b2.vpn, &b2, &[b2]);
+        assert_eq!(hit_pfn(&mut tlb, 0x400), Some(0x8000));
+    }
+
+    #[test]
+    fn piecewise_bundles_hold_fragments_with_different_anchors() {
+        // Positions 0-1 of a bundle back to one physical run, positions
+        // 2-3 to another (the normal nested-translation situation): both
+        // fragments coexist and both hit.
+        let mut tlb = MixTlb::new(MixTlbConfig {
+            super_bundle: 4,
+            ..MixTlbConfig::l1(2, 4)
+        });
+        let p0 = sp2m(0x1000, 0x20000);
+        let p1 = sp2m(0x1200, 0x20200);
+        let p2 = sp2m(0x1400, 0x90000);
+        let p3 = sp2m(0x1600, 0x90200);
+        tlb.fill(p0.vpn, &p0, &[p0, p1]);
+        tlb.fill(p2.vpn, &p2, &[p2, p3]);
+        assert_eq!(hit_pfn(&mut tlb, 0x1000), Some(0x20000));
+        assert_eq!(hit_pfn(&mut tlb, 0x1200), Some(0x20200));
+        assert_eq!(hit_pfn(&mut tlb, 0x1400), Some(0x90000));
+        assert_eq!(hit_pfn(&mut tlb, 0x1600), Some(0x90200));
+    }
+
+    #[test]
+    fn flush_empties_the_array() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(4, 2));
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill(b.vpn, &b, &[b]);
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert_eq!(hit_pfn(&mut tlb, 0x400), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_is_rejected() {
+        let _ = MixTlb::new(MixTlbConfig {
+            sets: 3,
+            ..MixTlbConfig::l1(2, 2)
+        });
+    }
+
+    #[test]
+    fn map_range_merge_semantics() {
+        let mut r = Map::Range { start: 2, len: 2 };
+        assert!(r.merge(&Map::Range { start: 4, len: 1 })); // adjacent
+        assert_eq!(r, Map::Range { start: 2, len: 3 });
+        assert!(r.merge(&Map::Range { start: 0, len: 3 })); // overlapping
+        assert_eq!(r, Map::Range { start: 0, len: 5 });
+        assert!(!r.merge(&Map::Range { start: 7, len: 1 })); // disjoint
+        let mut b = Map::Bits(0b101);
+        assert!(b.merge(&Map::Bits(0b010)));
+        assert_eq!(b, Map::Bits(0b111));
+        assert!(!b.merge(&Map::Range { start: 0, len: 1 }));
+    }
+}

@@ -1,0 +1,160 @@
+//! The hypothetical ideal set-associative TLB of the paper's Figure 1.
+
+use mixtlb_types::{AccessKind, PageSize, Translation, Vpn};
+
+use crate::api::{Lookup, TlbDevice, TlbStats};
+use crate::multiprobe::{MultiProbeConfig, MultiProbeTlb};
+
+/// A unified set-associative TLB that *magically* knows the page size
+/// before lookup, indexing each size correctly with a single zero-cost
+/// probe. Unrealizable in hardware (the chicken-and-egg problem of
+/// Sec. 1), it upper-bounds how well a single array of this geometry could
+/// ever utilize its capacity — the blue bars of Figure 1.
+///
+/// Internally this is a [`MultiProbeTlb`] whose extra probes are not
+/// charged: the stats report one set probe per lookup regardless of how
+/// many sizes were tried.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_core::{OracleUnifiedTlb, TlbDevice};
+/// use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, Vpn};
+///
+/// let mut tlb = OracleUnifiedTlb::new(16, 4);
+/// let b = Translation::new(Vpn::new(0x400), Pfn::new(0), PageSize::Size2M,
+///                          Permissions::rw_user());
+/// tlb.fill(b.vpn, &b, &[b]);
+/// assert!(tlb.lookup(Vpn::new(0x433), AccessKind::Load).is_hit());
+/// assert_eq!(tlb.stats().sets_probed, 1); // the oracle probes once
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleUnifiedTlb {
+    inner: MultiProbeTlb,
+    stats: TlbStats,
+}
+
+impl OracleUnifiedTlb {
+    /// Creates an empty oracle TLB with the given geometry.
+    pub fn new(sets: usize, ways: usize) -> OracleUnifiedTlb {
+        let mut config = MultiProbeConfig::all_sizes(sets, ways);
+        config.name = "oracle-unified".to_owned();
+        OracleUnifiedTlb {
+            inner: MultiProbeTlb::new(config),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.inner.occupancy()
+    }
+}
+
+impl TlbDevice for OracleUnifiedTlb {
+    fn name(&self) -> &str {
+        "oracle-unified"
+    }
+
+    fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup {
+        self.stats.lookups += 1;
+        self.stats.sets_probed += 1;
+        self.stats.entries_read += self.inner.config().ways as u64;
+        // The oracle "knows" the size: model it by trying each size
+        // without charging the extra probes.
+        for size in PageSize::ALL {
+            let result = self.inner.probe_size(vpn, size, kind);
+            if let Lookup::Hit { translation, dirty_microop, .. } = result {
+                self.stats.record_hit(translation.size);
+                if dirty_microop {
+                    self.stats.dirty_microops += 1;
+                }
+                return result;
+            }
+        }
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    fn fill(&mut self, vpn: Vpn, requested: &Translation, line: &[Translation]) {
+        self.stats.fills += 1;
+        self.stats.entries_written += 1;
+        self.inner.fill(vpn, requested, line);
+    }
+
+    fn invalidate(&mut self, vpn: Vpn, size: PageSize) {
+        self.stats.invalidations += 1;
+        self.inner.invalidate(vpn, size);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    fn stats(&self) -> TlbStats {
+        let inner = self.inner.stats();
+        let mut merged = self.stats;
+        merged.evictions = inner.evictions;
+        merged.entries_written = inner.entries_written;
+        merged
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_types::{Permissions, Pfn};
+
+    fn trans(vpn: u64, pfn: u64, size: PageSize) -> Translation {
+        Translation::new(Vpn::new(vpn), Pfn::new(pfn), size, Permissions::rw_user())
+    }
+
+    #[test]
+    fn utilizes_full_capacity_for_any_one_size() {
+        // 64 entries: caches 64 superpage translations — something the
+        // split design (32-entry 2 MB TLB) cannot.
+        let mut tlb = OracleUnifiedTlb::new(16, 4);
+        for i in 0..64u64 {
+            let t = trans(i * 512, i * 512, PageSize::Size2M);
+            tlb.fill(t.vpn, &t, &[t]);
+        }
+        let hits = (0..64u64)
+            .filter(|&i| tlb.lookup(Vpn::new(i * 512), AccessKind::Load).is_hit())
+            .count();
+        assert_eq!(hits, 64);
+    }
+
+    #[test]
+    fn probe_cost_is_always_one_set() {
+        let mut tlb = OracleUnifiedTlb::new(16, 4);
+        let t = trans(0x400, 0x2000, PageSize::Size2M);
+        tlb.fill(t.vpn, &t, &[t]);
+        tlb.lookup(Vpn::new(0x400), AccessKind::Load);
+        tlb.lookup(Vpn::new(0x9999), AccessKind::Load); // miss
+        let s = tlb.stats();
+        assert_eq!(s.sets_probed, 2);
+        assert_eq!(s.entries_read, 8);
+    }
+
+    #[test]
+    fn mixed_sizes_coexist() {
+        let mut tlb = OracleUnifiedTlb::new(16, 4);
+        let ts = [
+            trans(7, 70, PageSize::Size4K),
+            trans(0x400, 0x2000, PageSize::Size2M),
+            trans(1 << 18, 2 << 18, PageSize::Size1G),
+        ];
+        for t in ts {
+            tlb.fill(t.vpn, &t, &[t]);
+        }
+        for t in ts {
+            assert!(tlb.lookup(t.vpn, AccessKind::Load).is_hit());
+        }
+        assert_eq!(tlb.stats().hits_by_size, [1, 1, 1]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Split (partitioned) TLBs: the commercial baseline.
+
+use mixtlb_types::{AccessKind, PageSize, Translation, Vpn};
+
+use crate::api::{Lookup, TlbDevice, TlbStats};
+use crate::single::{SingleSizeTlb, SingleSizeTlbConfig};
+
+/// Geometry of a [`SplitTlb`]: one sub-TLB per page size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitTlbConfig {
+    /// Per-size sub-TLB configurations. Every size present is probed in
+    /// parallel on each lookup.
+    pub parts: Vec<SingleSizeTlbConfig>,
+    /// Design name for reports.
+    pub name: String,
+}
+
+impl SplitTlbConfig {
+    /// The paper's evaluation machine's L1: 4-way split TLBs with 64
+    /// entries for 4 KB pages and 32 entries for 2 MB pages, plus a 4-entry
+    /// fully-associative 1 GB TLB (Sec. 6.1).
+    pub fn haswell_l1() -> SplitTlbConfig {
+        SplitTlbConfig {
+            parts: vec![
+                SingleSizeTlbConfig::set_associative(PageSize::Size4K, 16, 4),
+                SingleSizeTlbConfig::set_associative(PageSize::Size2M, 8, 4),
+                SingleSizeTlbConfig::fully_associative(PageSize::Size1G, 4),
+            ],
+            name: "split-l1".to_owned(),
+        }
+    }
+
+    /// The GPU per-shader-core L1 of the paper's Sec. 6.3: 128-entry 4-way
+    /// for 4 KB pages, 32-entry 4-way for 2 MB, 4-entry fully-associative
+    /// for 1 GB.
+    pub fn gpu_l1() -> SplitTlbConfig {
+        SplitTlbConfig {
+            parts: vec![
+                SingleSizeTlbConfig::set_associative(PageSize::Size4K, 32, 4),
+                SingleSizeTlbConfig::set_associative(PageSize::Size2M, 8, 4),
+                SingleSizeTlbConfig::fully_associative(PageSize::Size1G, 4),
+            ],
+            name: "split-gpu-l1".to_owned(),
+        }
+    }
+
+    /// Total entries across sub-TLBs (for area-equivalence arguments).
+    pub fn total_entries(&self) -> usize {
+        self.parts.iter().map(|p| p.sets * p.ways).sum()
+    }
+}
+
+/// A split TLB: separate per-page-size sub-TLBs, all probed in parallel.
+///
+/// This sidesteps the index-bits problem (each sub-TLB knows its page size)
+/// but underutilizes capacity: when the OS allocates mostly one page size,
+/// the other sub-TLBs sit idle — the problem MIX TLBs solve (paper Sec. 1).
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_core::{SplitTlb, SplitTlbConfig, TlbDevice};
+/// use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, Vpn};
+///
+/// let mut tlb = SplitTlb::new(SplitTlbConfig::haswell_l1());
+/// let b = Translation::new(Vpn::new(0x400), Pfn::new(0), PageSize::Size2M,
+///                          Permissions::rw_user());
+/// tlb.fill(b.vpn, &b, &[b]);
+/// assert!(tlb.lookup(Vpn::new(0x4F0), AccessKind::Load).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitTlb {
+    parts: Vec<SingleSizeTlb>,
+    name: String,
+    stats: TlbStats,
+}
+
+impl SplitTlb {
+    /// Creates an empty split TLB.
+    pub fn new(config: SplitTlbConfig) -> SplitTlb {
+        SplitTlb {
+            parts: config.parts.into_iter().map(SingleSizeTlb::new).collect(),
+            name: config.name,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The sub-TLB for a page size, if configured.
+    pub fn part(&self, size: PageSize) -> Option<&SingleSizeTlb> {
+        self.parts.iter().find(|p| p.config().size == size)
+    }
+}
+
+impl TlbDevice for SplitTlb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup {
+        self.stats.lookups += 1;
+        // All sub-TLBs are probed in parallel; at most one can hit.
+        let mut result = Lookup::Miss;
+        for part in &mut self.parts {
+            let probe = part.probe(vpn, kind);
+            if probe.is_hit() {
+                debug_assert!(
+                    !result.is_hit(),
+                    "two sub-TLBs hit the same page — mapping changed without invalidation"
+                );
+                result = probe;
+            }
+        }
+        // Aggregate the probe costs recorded inside the parts.
+        match &result {
+            Lookup::Hit { translation, dirty_microop, .. } => {
+                self.stats.record_hit(translation.size);
+                if *dirty_microop {
+                    self.stats.dirty_microops += 1;
+                }
+            }
+            Lookup::Miss => self.stats.misses += 1,
+        }
+        result
+    }
+
+    fn fill(&mut self, _vpn: Vpn, requested: &Translation, _line: &[Translation]) {
+        self.stats.fills += 1;
+        for part in &mut self.parts {
+            if part.config().size == requested.size {
+                part.insert(requested);
+                return;
+            }
+        }
+        // A size with no sub-TLB is simply not cached (cannot happen with
+        // the shipped configurations, which cover all three sizes).
+    }
+
+    fn invalidate(&mut self, vpn: Vpn, size: PageSize) {
+        self.stats.invalidations += 1;
+        for part in &mut self.parts {
+            if part.config().size == size {
+                part.invalidate_inner(vpn);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for part in &mut self.parts {
+            part.flush();
+        }
+    }
+
+    fn stats(&self) -> TlbStats {
+        // Merge the per-part probe/write counters into the logical view.
+        let mut merged = self.stats;
+        for part in &self.parts {
+            let ps = part.stats();
+            merged.sets_probed += ps.sets_probed;
+            merged.entries_read += ps.entries_read;
+            merged.entries_written += ps.entries_written;
+            merged.evictions += ps.evictions;
+        }
+        merged
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+        for part in &mut self.parts {
+            part.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_types::{Permissions, Pfn};
+
+    fn rw() -> Permissions {
+        Permissions::rw_user()
+    }
+
+    fn trans(vpn: u64, pfn: u64, size: PageSize) -> Translation {
+        Translation::new(Vpn::new(vpn), Pfn::new(pfn), size, rw())
+    }
+
+    #[test]
+    fn each_size_lands_in_its_part() {
+        let mut tlb = SplitTlb::new(SplitTlbConfig::haswell_l1());
+        let t4 = trans(7, 70, PageSize::Size4K);
+        let t2 = trans(0x400, 0x2000, PageSize::Size2M);
+        let t1 = trans(1 << 18, 2 << 18, PageSize::Size1G);
+        for t in [t4, t2, t1] {
+            tlb.fill(t.vpn, &t, &[t]);
+        }
+        assert_eq!(tlb.part(PageSize::Size4K).unwrap().occupancy(), 1);
+        assert_eq!(tlb.part(PageSize::Size2M).unwrap().occupancy(), 1);
+        assert_eq!(tlb.part(PageSize::Size1G).unwrap().occupancy(), 1);
+        for t in [t4, t2, t1] {
+            let hit = tlb.lookup(t.vpn, AccessKind::Load);
+            assert_eq!(hit.translation().unwrap().size, t.size);
+        }
+    }
+
+    #[test]
+    fn superpage_pressure_cannot_use_small_page_entries() {
+        // The paper's core complaint: the 2 MB part has 32 entries; a 33rd
+        // 2 MB translation thrashes even though the 64-entry 4 KB part is
+        // idle.
+        let mut tlb = SplitTlb::new(SplitTlbConfig::haswell_l1());
+        for i in 0..33u64 {
+            let t = trans(i * 512, i * 512, PageSize::Size2M);
+            tlb.fill(t.vpn, &t, &[t]);
+        }
+        let hits = (0..33u64)
+            .filter(|&i| tlb.lookup(Vpn::new(i * 512), AccessKind::Load).is_hit())
+            .count();
+        assert_eq!(hits, 32);
+        assert_eq!(tlb.part(PageSize::Size4K).unwrap().occupancy(), 0);
+    }
+
+    #[test]
+    fn probe_energy_counts_all_parts() {
+        let mut tlb = SplitTlb::new(SplitTlbConfig::haswell_l1());
+        tlb.lookup(Vpn::new(0), AccessKind::Load);
+        let s = tlb.stats();
+        // 4 ways + 4 ways + 4 FA entries read on the one lookup.
+        assert_eq!(s.entries_read, 12);
+        assert_eq!(s.sets_probed, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn invalidation_targets_the_right_part() {
+        let mut tlb = SplitTlb::new(SplitTlbConfig::haswell_l1());
+        let t2 = trans(0x400, 0x2000, PageSize::Size2M);
+        tlb.fill(t2.vpn, &t2, &[t2]);
+        // Invalidating a 4 KB page at the same address leaves the 2 MB
+        // entry alone.
+        tlb.invalidate(Vpn::new(0x400), PageSize::Size4K);
+        assert!(tlb.lookup(Vpn::new(0x400), AccessKind::Load).is_hit());
+        tlb.invalidate(Vpn::new(0x400), PageSize::Size2M);
+        assert!(!tlb.lookup(Vpn::new(0x400), AccessKind::Load).is_hit());
+    }
+
+    #[test]
+    fn flush_clears_all_parts() {
+        let mut tlb = SplitTlb::new(SplitTlbConfig::haswell_l1());
+        let t = trans(7, 70, PageSize::Size4K);
+        tlb.fill(t.vpn, &t, &[t]);
+        tlb.flush();
+        assert!(!tlb.lookup(Vpn::new(7), AccessKind::Load).is_hit());
+    }
+
+    #[test]
+    fn total_entries_for_area_equivalence() {
+        assert_eq!(SplitTlbConfig::haswell_l1().total_entries(), 64 + 32 + 4);
+        assert_eq!(SplitTlbConfig::gpu_l1().total_entries(), 128 + 32 + 4);
+    }
+}

@@ -1,0 +1,163 @@
+//! Generic set-associative storage with per-set true-LRU replacement,
+//! shared by every TLB design in the workspace.
+
+/// Set-associative slots of entries `E` with LRU stamps.
+#[derive(Debug, Clone)]
+pub(crate) struct SetStorage<E> {
+    ways: usize,
+    slots: Vec<Option<E>>,
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl<E> SetStorage<E> {
+    pub(crate) fn new(sets: usize, ways: usize) -> SetStorage<E> {
+        assert!(sets > 0 && ways > 0, "TLB geometry must be non-zero");
+        let slots = sets * ways;
+        SetStorage {
+            ways,
+            slots: std::iter::repeat_with(|| None).take(slots).collect(),
+            stamps: vec![0; slots],
+            tick: 0,
+        }
+    }
+
+    pub(crate) fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Immutable view of a way's slot.
+    pub(crate) fn get(&self, set: usize, way: usize) -> Option<&E> {
+        self.slots[set * self.ways + way].as_ref()
+    }
+
+    /// Mutable view of a way's slot.
+    pub(crate) fn get_mut(&mut self, set: usize, way: usize) -> Option<&mut E> {
+        self.slots[set * self.ways + way].as_mut()
+    }
+
+    /// Marks a way most-recently-used.
+    pub(crate) fn touch(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        self.stamps[set * self.ways + way] = self.tick;
+    }
+
+    /// Index of the first way in `set` whose entry satisfies `pred`.
+    pub(crate) fn find(&self, set: usize, mut pred: impl FnMut(&E) -> bool) -> Option<usize> {
+        (0..self.ways).find(|&w| self.get(set, w).is_some_and(|e| pred(e)))
+    }
+
+    /// All ways in `set` whose entries satisfy `pred`.
+    pub(crate) fn find_all(&self, set: usize, mut pred: impl FnMut(&E) -> bool) -> Vec<usize> {
+        (0..self.ways)
+            .filter(|&w| self.get(set, w).is_some_and(|e| pred(e)))
+            .collect()
+    }
+
+    /// Inserts into an empty way, or evicts the LRU way, marking the new
+    /// entry most-recently-used. Returns the displaced entry, if any.
+    pub(crate) fn insert_lru(&mut self, set: usize, entry: E) -> Option<E> {
+        self.insert_with_priority(set, entry, true)
+    }
+
+    /// Inserts into an empty way, or evicts the LRU way. With `mru =
+    /// false` the new entry lands at the LRU position (LIP-style): it is
+    /// the next eviction candidate until a lookup touches it. Mirrored
+    /// fill copies in non-probed sets use this so a burst of mirrors
+    /// cannot displace entries that lookups are actually using.
+    pub(crate) fn insert_with_priority(&mut self, set: usize, entry: E, mru: bool) -> Option<E> {
+        self.tick += 1;
+        let base = set * self.ways;
+        let way = (0..self.ways)
+            .find(|&w| self.slots[base + w].is_none())
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .min_by_key(|&w| self.stamps[base + w])
+                    .expect("at least one way")
+            });
+        let evicted = self.slots[base + way].replace(entry);
+        self.stamps[base + way] = if mru { self.tick } else { 0 };
+        evicted
+    }
+
+    /// Writes an entry into a specific way (assumed invalid or
+    /// replaceable), marking it least-recently-used so a lookup must touch
+    /// it before it outranks anything.
+    pub(crate) fn insert_at(&mut self, set: usize, way: usize, entry: E) {
+        self.slots[set * self.ways + way] = Some(entry);
+        self.stamps[set * self.ways + way] = 0;
+    }
+
+    /// Removes and returns the entry in a way.
+    pub(crate) fn remove(&mut self, set: usize, way: usize) -> Option<E> {
+        self.stamps[set * self.ways + way] = 0;
+        self.slots[set * self.ways + way].take()
+    }
+
+    /// Clears every slot.
+    pub(crate) fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.stamps.fill(0);
+        self.tick = 0;
+    }
+
+    /// Number of valid entries.
+    pub(crate) fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_prefers_empty_ways() {
+        let mut s: SetStorage<u32> = SetStorage::new(2, 2);
+        assert_eq!(s.insert_lru(0, 10), None);
+        assert_eq!(s.insert_lru(0, 11), None);
+        assert_eq!(s.occupancy(), 2);
+        // Set full now: LRU (10) evicted.
+        assert_eq!(s.insert_lru(0, 12), Some(10));
+    }
+
+    #[test]
+    fn touch_protects_from_eviction() {
+        let mut s: SetStorage<u32> = SetStorage::new(1, 2);
+        s.insert_lru(0, 1);
+        s.insert_lru(0, 2);
+        let w1 = s.find(0, |&e| e == 1).unwrap();
+        s.touch(0, w1);
+        assert_eq!(s.insert_lru(0, 3), Some(2));
+    }
+
+    #[test]
+    fn find_and_remove() {
+        let mut s: SetStorage<u32> = SetStorage::new(1, 4);
+        s.insert_lru(0, 5);
+        s.insert_lru(0, 6);
+        s.insert_lru(0, 5);
+        assert_eq!(s.find_all(0, |&e| e == 5).len(), 2);
+        let w = s.find(0, |&e| e == 6).unwrap();
+        assert_eq!(s.remove(0, w), Some(6));
+        assert_eq!(s.find(0, |&e| e == 6), None);
+        assert_eq!(s.occupancy(), 2);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut s: SetStorage<u32> = SetStorage::new(2, 2);
+        s.insert_lru(0, 1);
+        s.insert_lru(1, 2);
+        s.clear();
+        assert_eq!(s.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_panics() {
+        let _: SetStorage<u32> = SetStorage::new(0, 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! MIX-TLB-specific property tests: coalesced entries never invent
+//! translations, statistics stay consistent, and mirroring respects the
+//! array geometry.
+
+use mixtlb_core::{CoalesceKind, FillMerge, Lookup, MirrorPolicy, MixTlb, MixTlbConfig, TlbDevice};
+use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, Vpn};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn config_strategy() -> impl Strategy<Value = MixTlbConfig> {
+    (
+        prop_oneof![Just(2usize), Just(4), Just(8), Just(16)],
+        1usize..5,
+        prop_oneof![Just(CoalesceKind::Bitmap), Just(CoalesceKind::Length)],
+        prop_oneof![Just(FillMerge::ProbedSetOnly), Just(FillMerge::AllSets)],
+        prop_oneof![Just(MirrorPolicy::Evicting), Just(MirrorPolicy::NonEvicting)],
+        prop_oneof![Just(1u32), Just(4)],
+    )
+        .prop_map(|(sets, ways, kind, fill_merge, mirror_policy, small_bundle)| {
+            MixTlbConfig {
+                kind,
+                fill_merge,
+                mirror_policy,
+                small_bundle,
+                ..MixTlbConfig::l1(sets, ways)
+            }
+        })
+}
+
+/// A consistent world: superpages on a grid, occasionally contiguous.
+fn world(seed: u64) -> Vec<Translation> {
+    let rw = Permissions::rw_user();
+    let mut out = Vec::new();
+    let mut x = seed | 1;
+    let mut pfn = 1u64 << 21;
+    for i in 0..24u64 {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        match x % 3 {
+            0 => out.push(Translation::new(
+                Vpn::new(i << 12),
+                Pfn::new(pfn + (x % 512)),
+                PageSize::Size4K,
+                rw,
+            )),
+            1 => out.push(Translation::new(
+                Vpn::new((i << 12) & !511),
+                Pfn::new((pfn + (x % 4096)) & !511),
+                PageSize::Size2M,
+                rw,
+            )),
+            _ => {}
+        }
+        pfn += 8192;
+    }
+    // Deduplicate overlapping grid picks: keep first mapping per base page.
+    let mut seen: HashMap<u64, Translation> = HashMap::new();
+    out.retain(|t| {
+        let key = t.vpn.align_down(PageSize::Size2M).raw();
+        if seen.contains_key(&key) {
+            false
+        } else {
+            seen.insert(key, *t);
+            true
+        }
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// No MIX configuration ever returns a translation that disagrees with
+    /// what was filled — coalescing must never *invent* mappings.
+    #[test]
+    fn hits_never_invent_translations(
+        config in config_strategy(),
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0usize..32, 0u64..512, any::<bool>()), 1..120),
+    ) {
+        let truth = world(seed);
+        prop_assume!(!truth.is_empty());
+        let mut tlb = MixTlb::new(config.clone());
+        for &(which, off, fill_line) in &ops {
+            let t = truth[which % truth.len()];
+            let vpn = t.vpn.add_4k(off % t.size.pages_4k());
+            match tlb.lookup(vpn, AccessKind::Load) {
+                Lookup::Hit { translation, run, .. } => {
+                    // The hit must reproduce the true frame for this page.
+                    prop_assert_eq!(
+                        translation.frame_for(vpn),
+                        t.frame_for(vpn),
+                        "invented translation for {}", vpn
+                    );
+                    // And any advertised run must consist of true mappings.
+                    if let Some(run) = run {
+                        for rt in run.translations() {
+                            let origin = truth.iter().find(|x| x.covers(rt.vpn));
+                            prop_assert!(
+                                origin.is_some_and(|o| o.frame_for(rt.vpn) == Some(rt.pfn)),
+                                "run advertises unmapped page {}", rt.vpn
+                            );
+                        }
+                    }
+                }
+                Lookup::Miss => {
+                    // Fill, optionally with a multi-translation line drawn
+                    // from the truth (as a walker cache line would be).
+                    if fill_line {
+                        let line: Vec<Translation> = truth
+                            .iter()
+                            .copied()
+                            .filter(|x| x.size == t.size)
+                            .take(8)
+                            .collect();
+                        tlb.fill(vpn, &t, &line);
+                    } else {
+                        tlb.fill(vpn, &t, &[t]);
+                    }
+                }
+            }
+            // Geometry invariant: occupancy never exceeds the array.
+            prop_assert!(tlb.occupancy() <= config.sets * config.ways);
+            // Statistics invariants.
+            let s = tlb.stats();
+            prop_assert_eq!(s.hits + s.misses, s.lookups);
+            prop_assert!(s.entries_written >= s.fills || s.fills == 0 || config.mirror_policy == MirrorPolicy::NonEvicting);
+            prop_assert_eq!(s.sets_probed, s.lookups);
+            prop_assert_eq!(s.entries_read, s.lookups * config.ways as u64);
+        }
+    }
+
+    /// Filling the same translation repeatedly is idempotent for hits:
+    /// once it hits, it keeps hitting with the same PA (absent eviction
+    /// pressure from other fills).
+    #[test]
+    fn refills_are_stable(config in config_strategy(), seed in any::<u64>()) {
+        let truth = world(seed);
+        prop_assume!(!truth.is_empty());
+        let mut tlb = MixTlb::new(config);
+        let t = truth[0];
+        for _ in 0..4 {
+            tlb.fill(t.vpn, &t, &[t]);
+            match tlb.lookup(t.vpn, AccessKind::Load) {
+                Lookup::Hit { translation, .. } => {
+                    prop_assert_eq!(translation.frame_for(t.vpn), Some(t.pfn));
+                }
+                Lookup::Miss => prop_assert!(false, "fill must establish the entry"),
+            }
+        }
+    }
+}

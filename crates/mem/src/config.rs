@@ -1,0 +1,79 @@
+//! Physical-memory configuration.
+
+use mixtlb_types::PAGE_SIZE_4K;
+
+/// Configuration for a [`crate::PhysicalMemory`] instance.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_mem::MemoryConfig;
+///
+/// let cfg = MemoryConfig::with_gib(80); // the paper's 80 GB server
+/// assert_eq!(cfg.total_frames(), 20 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    total_bytes: u64,
+}
+
+impl MemoryConfig {
+    /// Creates a configuration for a machine with the given memory size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes` is zero or not a multiple of 4 KB.
+    pub fn with_bytes(total_bytes: u64) -> MemoryConfig {
+        assert!(total_bytes > 0, "memory size must be non-zero");
+        assert_eq!(
+            total_bytes % PAGE_SIZE_4K,
+            0,
+            "memory size must be a multiple of 4 KB"
+        );
+        MemoryConfig { total_bytes }
+    }
+
+    /// Creates a configuration for a machine with `gib` GiB of memory.
+    pub fn with_gib(gib: u64) -> MemoryConfig {
+        MemoryConfig::with_bytes(gib << 30)
+    }
+
+    /// Total memory in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total number of 4 KB frames.
+    pub fn total_frames(&self) -> u64 {
+        self.total_bytes / PAGE_SIZE_4K
+    }
+}
+
+impl Default for MemoryConfig {
+    /// The paper's evaluation machine: 80 GB of physical memory.
+    fn default() -> MemoryConfig {
+        MemoryConfig::with_gib(80)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_for_80_gib() {
+        assert_eq!(MemoryConfig::default().total_frames(), 20_971_520);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4 KB")]
+    fn rejects_unaligned_sizes() {
+        let _ = MemoryConfig::with_bytes(4097);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero() {
+        let _ = MemoryConfig::with_bytes(0);
+    }
+}

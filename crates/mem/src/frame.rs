@@ -1,0 +1,67 @@
+//! Per-frame ownership states.
+
+use std::fmt;
+
+/// Who owns a physical frame, from the point of view of compaction.
+///
+/// Linux's page-block mobility types collapse, for our purposes, into three
+/// relevant classes: free, movable (user data that compaction may migrate),
+/// and unmovable (kernel allocations, pinned memory — and our model of the
+/// `memhog` fragmenter's footprint, which is what makes fragmentation *hurt*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// The frame is on a free list.
+    Free,
+    /// User data; compaction may migrate it.
+    Movable,
+    /// Pinned/kernel memory; compaction must work around it.
+    Unmovable,
+    /// A page-table page. Unmovable, but tracked separately so walk traffic
+    /// and footprint can be reported.
+    PageTable,
+}
+
+impl FrameKind {
+    /// Returns `true` if compaction may migrate frames of this kind.
+    #[inline]
+    pub const fn is_movable(self) -> bool {
+        matches!(self, FrameKind::Movable)
+    }
+
+    /// Returns `true` if the frame is allocated (not free).
+    #[inline]
+    pub const fn is_allocated(self) -> bool {
+        !matches!(self, FrameKind::Free)
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameKind::Free => write!(f, "free"),
+            FrameKind::Movable => write!(f, "movable"),
+            FrameKind::Unmovable => write!(f, "unmovable"),
+            FrameKind::PageTable => write!(f, "page-table"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movability() {
+        assert!(FrameKind::Movable.is_movable());
+        assert!(!FrameKind::Unmovable.is_movable());
+        assert!(!FrameKind::PageTable.is_movable());
+        assert!(!FrameKind::Free.is_movable());
+    }
+
+    #[test]
+    fn allocation_state() {
+        assert!(!FrameKind::Free.is_allocated());
+        assert!(FrameKind::Movable.is_allocated());
+        assert!(FrameKind::PageTable.is_allocated());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the buddy allocator: no overlap, alignment,
+//! conservation of frames, and merge correctness.
+
+use std::collections::HashMap;
+
+use mixtlb_mem::{AllocError, BuddyAllocator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u8),
+    /// Free the i-th live allocation (modulo the live count).
+    Free(usize),
+    AllocAt(u64, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..=10).prop_map(Op::Alloc),
+        (0usize..64).prop_map(Op::Free),
+        ((0u64..4096), (0u8..=9)).prop_map(|(b, o)| Op::AllocAt(b, o)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocations_never_overlap_and_frames_are_conserved(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        total in 1024u64..4096,
+    ) {
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: Vec<(u64, u8)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(order) => {
+                    match buddy.alloc(order) {
+                        Ok(base) => {
+                            prop_assert_eq!(base % (1u64 << order), 0, "misaligned block");
+                            prop_assert!(base + (1u64 << order) <= total, "out of bounds");
+                            live.push((base, order));
+                        }
+                        Err(AllocError::OutOfMemory) => {
+                            prop_assert!(
+                                buddy.largest_free_order().map_or(true, |o| o < order),
+                                "OutOfMemory although a block of order {} exists", order
+                            );
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (base, order) = live.swap_remove(i % live.len());
+                        buddy.free(base, order);
+                    }
+                }
+                Op::AllocAt(base, order) => {
+                    let base = base & !((1u64 << order) - 1);
+                    if buddy.alloc_at(base, order).is_ok() {
+                        live.push((base, order));
+                    }
+                }
+            }
+            // Conservation: free + live allocated frames == total.
+            let allocated: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+            prop_assert_eq!(buddy.free_frames() + allocated, total);
+            // No two live blocks overlap.
+            let mut seen: HashMap<u64, ()> = HashMap::new();
+            for &(base, order) in &live {
+                for f in base..base + (1u64 << order) {
+                    prop_assert!(seen.insert(f, ()).is_none(), "frame {} double-allocated", f);
+                }
+            }
+        }
+        // Freeing everything restores a fully free allocator.
+        for (base, order) in live {
+            buddy.free(base, order);
+        }
+        prop_assert_eq!(buddy.free_frames(), total);
+    }
+
+    #[test]
+    fn is_range_free_agrees_with_alloc_at(
+        total in 512u64..2048,
+        holes in proptest::collection::vec((0u64..2048, 0u8..6), 0..20),
+        probe_base in 0u64..2048,
+        probe_order in 0u8..9,
+    ) {
+        let mut buddy = BuddyAllocator::new(total);
+        for (b, o) in holes {
+            let b = b & !((1u64 << o) - 1);
+            let _ = buddy.alloc_at(b, o);
+        }
+        let probe_base = probe_base & !((1u64 << probe_order) - 1);
+        let claimed_free = buddy.is_range_free(probe_base, probe_order);
+        let alloc_result = buddy.alloc_at(probe_base, probe_order);
+        prop_assert_eq!(claimed_free, alloc_result.is_ok());
+    }
+}

@@ -1,0 +1,372 @@
+//! Page-table scanners: page-size distributions and superpage contiguity.
+//!
+//! These reproduce the measurement machinery behind the paper's Figures 9-13:
+//! the fraction of a footprint backed by superpages, the average superpage
+//! contiguity (Sec. 7.1 defines it as the translation-weighted mean run
+//! length: a table with runs of lengths `l_i` has average contiguity
+//! `Σ l_i² / Σ l_i`), and contiguity CDFs.
+
+use mixtlb_pagetable::PageTable;
+use mixtlb_types::{PageSize, Translation, Vpn};
+
+/// Counts of mapped pages by size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageSizeDistribution {
+    /// Mapped 4 KB pages.
+    pub pages_4k: u64,
+    /// Mapped 2 MB pages.
+    pub pages_2m: u64,
+    /// Mapped 1 GB pages.
+    pub pages_1g: u64,
+}
+
+impl PageSizeDistribution {
+    /// Measures the distribution of a page table.
+    pub fn of(pt: &PageTable) -> PageSizeDistribution {
+        let (pages_4k, pages_2m, pages_1g) = pt.mapped_counts();
+        PageSizeDistribution {
+            pages_4k,
+            pages_2m,
+            pages_1g,
+        }
+    }
+
+    /// Total mapped bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.pages_4k * PageSize::Size4K.bytes()
+            + self.pages_2m * PageSize::Size2M.bytes()
+            + self.pages_1g * PageSize::Size1G.bytes()
+    }
+
+    /// Fraction of the footprint backed by superpages (2 MB + 1 GB), the
+    /// y-axis of Figures 9-10. Zero for an empty table.
+    pub fn superpage_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        let superbytes = self.pages_2m * PageSize::Size2M.bytes()
+            + self.pages_1g * PageSize::Size1G.bytes();
+        superbytes as f64 / total as f64
+    }
+}
+
+/// Run-length statistics for superpages of one size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContiguityStats {
+    /// Lengths of maximal runs of contiguous superpages (virtually and
+    /// physically adjacent, same permissions), ascending VA order.
+    pub runs: Vec<u64>,
+}
+
+impl ContiguityStats {
+    /// Scans a page table for runs of contiguous superpages of `size`.
+    pub fn of(pt: &PageTable, size: PageSize) -> ContiguityStats {
+        let mut finder = RunFinder::new(size);
+        pt.for_each_leaf(|t| finder.feed(t));
+        finder.finish()
+    }
+
+    /// Total translations of this size.
+    pub fn translations(&self) -> u64 {
+        self.runs.iter().sum()
+    }
+
+    /// The paper's average contiguity: `Σ len² / Σ len` (each translation
+    /// weighted by the length of the run containing it). Zero if there are
+    /// no translations.
+    pub fn average_contiguity(&self) -> f64 {
+        let total = self.translations();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self.runs.iter().map(|&l| l * l).sum();
+        weighted as f64 / total as f64
+    }
+
+    /// The longest run.
+    pub fn max_run(&self) -> u64 {
+        self.runs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The contiguity CDF (Figures 12-13): points `(run_length, fraction)`
+    /// where `fraction` is the share of translations living in runs of
+    /// length ≤ `run_length`. Ascending in `run_length`.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let total = self.translations();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut sorted = self.runs.clone();
+        sorted.sort_unstable();
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        let mut cum = 0u64;
+        for len in sorted {
+            cum += len;
+            match out.last_mut() {
+                Some(last) if last.0 == len => last.1 = cum as f64 / total as f64,
+                _ => out.push((len, cum as f64 / total as f64)),
+            }
+        }
+        out
+    }
+}
+
+/// Incremental run detector over a VA-ordered stream of translations.
+#[derive(Debug)]
+pub struct RunFinder {
+    size: PageSize,
+    prev: Option<Translation>,
+    current_run: u64,
+    runs: Vec<u64>,
+}
+
+impl RunFinder {
+    /// Creates a finder for superpages of `size`.
+    pub fn new(size: PageSize) -> RunFinder {
+        RunFinder {
+            size,
+            prev: None,
+            current_run: 0,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Feeds the next translation in ascending VA order.
+    pub fn feed(&mut self, t: &Translation) {
+        if t.size != self.size {
+            self.close();
+            return;
+        }
+        match &self.prev {
+            Some(prev) if prev.is_coalescible_successor(t) => {
+                self.current_run += 1;
+            }
+            _ => {
+                self.close();
+                self.current_run = 1;
+            }
+        }
+        self.prev = Some(*t);
+    }
+
+    fn close(&mut self) {
+        if self.current_run > 0 {
+            self.runs.push(self.current_run);
+            self.current_run = 0;
+        }
+        self.prev = None;
+    }
+
+    /// Finishes the scan and returns the statistics.
+    pub fn finish(mut self) -> ContiguityStats {
+        self.close();
+        ContiguityStats { runs: self.runs }
+    }
+}
+
+/// The *effective* (splintered) page-size distribution seen by nested
+/// translation hardware: each guest mapping contributes pages of
+/// `min(guest size, host size)` over its extent (paper Sec. 7.1's
+/// virtualized results).
+pub fn effective_distribution(guest: &PageTable, host: &PageTable) -> PageSizeDistribution {
+    let mut dist = PageSizeDistribution::default();
+    guest.for_each_leaf(|g| {
+        let mut off = 0;
+        while off < g.size.pages_4k() {
+            let gpn = g.pfn.add_4k(off);
+            let step = match host.lookup(Vpn::new(gpn.raw())) {
+                Some(h) => {
+                    let eff = g.size.min(h.size);
+                    match eff {
+                        PageSize::Size4K => dist.pages_4k += 1,
+                        PageSize::Size2M => dist.pages_2m += 1,
+                        PageSize::Size1G => dist.pages_1g += 1,
+                    }
+                    eff.pages_4k()
+                }
+                // Unbacked guest-physical range: skip the host hole at 4 KB
+                // granularity.
+                None => 1,
+            };
+            off += step;
+        }
+    });
+    dist
+}
+
+/// Contiguity of the effective (splintered) translations of a virtualized
+/// space, for superpages of `size`.
+pub fn effective_contiguity(guest: &PageTable, host: &PageTable, size: PageSize) -> ContiguityStats {
+    let mut finder = RunFinder::new(size);
+    guest.for_each_leaf(|g| {
+        let mut off = 0;
+        while off < g.size.pages_4k() {
+            let vpn = g.vpn.add_4k(off);
+            let gpn = g.pfn.add_4k(off);
+            let step = match host.lookup(Vpn::new(gpn.raw())) {
+                Some(h) => {
+                    let eff = g.size.min(h.size);
+                    if let Some(spn) = h.frame_for(Vpn::new(gpn.raw())) {
+                        let t = Translation {
+                            vpn,
+                            pfn: spn,
+                            size: eff,
+                            perms: g.perms & h.perms,
+                            accessed: true,
+                            dirty: false,
+                        };
+                        finder.feed(&t);
+                    }
+                    eff.pages_4k()
+                }
+                None => 1,
+            };
+            off += step;
+        }
+    });
+    finder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_pagetable::BumpFrameSource;
+    use mixtlb_types::{Permissions, Pfn};
+
+    fn rw() -> Permissions {
+        Permissions::rw_user()
+    }
+
+    fn pt_with(translations: &[Translation]) -> PageTable {
+        let mut frames = BumpFrameSource::new(0x100_0000);
+        let mut pt = PageTable::new(&mut frames);
+        for t in translations {
+            pt.map(*t, &mut frames).unwrap();
+        }
+        pt
+    }
+
+    fn sp2m(vpn: u64, pfn: u64) -> Translation {
+        Translation::new(Vpn::new(vpn), Pfn::new(pfn), PageSize::Size2M, rw())
+    }
+
+    #[test]
+    fn distribution_fractions() {
+        let pt = pt_with(&[
+            Translation::new(Vpn::new(0), Pfn::new(0), PageSize::Size4K, rw()),
+            sp2m(512, 512),
+        ]);
+        let d = PageSizeDistribution::of(&pt);
+        assert_eq!(d.pages_4k, 1);
+        assert_eq!(d.pages_2m, 1);
+        let expect = (512.0 * 4096.0) / (513.0 * 4096.0);
+        assert!((d.superpage_fraction() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let pt = pt_with(&[]);
+        assert_eq!(PageSizeDistribution::of(&pt).superpage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn paper_average_contiguity_example() {
+        // Sec. 7.1: 2 singletons + one run of 2 → (1 + 1 + 2*2)/4 = 1.5.
+        let pt = pt_with(&[
+            sp2m(0, 0),
+            sp2m(1024, 4096),   // singleton (not phys-adjacent to previous)
+            sp2m(4096, 8192),   // run of 2 with the next
+            sp2m(4608, 8704),
+        ]);
+        let c = ContiguityStats::of(&pt, PageSize::Size2M);
+        assert_eq!(c.runs.len(), 3);
+        assert_eq!(c.translations(), 4);
+        assert!((c.average_contiguity() - 1.5).abs() < 1e-12);
+        assert_eq!(c.max_run(), 2);
+    }
+
+    #[test]
+    fn runs_broken_by_interleaved_small_pages() {
+        let pt = pt_with(&[
+            sp2m(0, 0),
+            Translation::new(Vpn::new(512), Pfn::new(700_000), PageSize::Size4K, rw()),
+            sp2m(1024, 1024),
+        ]);
+        let c = ContiguityStats::of(&pt, PageSize::Size2M);
+        assert_eq!(c.runs, vec![1, 1]);
+    }
+
+    #[test]
+    fn runs_broken_by_permission_changes() {
+        let mut b = sp2m(512, 512);
+        b.perms = Permissions::ro_user();
+        let pt = pt_with(&[sp2m(0, 0), b]);
+        let c = ContiguityStats::of(&pt, PageSize::Size2M);
+        assert_eq!(c.runs, vec![1, 1]);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let pt = pt_with(&[
+            sp2m(0, 0),
+            sp2m(512, 512),
+            sp2m(1024, 1024),
+            sp2m(4096, 90_112),
+        ]);
+        let c = ContiguityStats::of(&pt, PageSize::Size2M);
+        let cdf = c.cdf();
+        assert_eq!(cdf, vec![(1, 0.25), (3, 1.0)]);
+    }
+
+    #[test]
+    fn effective_distribution_splinters() {
+        // Guest: one 2 MB page at gpa 0x800. Host: 4 KB backing.
+        let mut gframes = BumpFrameSource::new(0x1000);
+        let mut guest = PageTable::new(&mut gframes);
+        guest
+            .map(sp2m(0x400, 0x800), &mut gframes)
+            .unwrap();
+        let mut hframes = BumpFrameSource::new(0x8000);
+        let mut host = PageTable::new(&mut hframes);
+        for gpn in 0x800..0xA00u64 {
+            host.map(
+                Translation::new(Vpn::new(gpn), Pfn::new(0x10000 + gpn), PageSize::Size4K, rw()),
+                &mut hframes,
+            )
+            .unwrap();
+        }
+        let d = effective_distribution(&guest, &host);
+        assert_eq!(d.pages_4k, 512);
+        assert_eq!(d.pages_2m, 0);
+    }
+
+    #[test]
+    fn effective_distribution_preserves_matched_superpages() {
+        let mut gframes = BumpFrameSource::new(0x1000);
+        let mut guest = PageTable::new(&mut gframes);
+        guest.map(sp2m(0x400, 0x800), &mut gframes).unwrap();
+        let mut hframes = BumpFrameSource::new(0x8000);
+        let mut host = PageTable::new(&mut hframes);
+        host.map(sp2m(0x800, 0x2000), &mut hframes).unwrap();
+        let d = effective_distribution(&guest, &host);
+        assert_eq!(d.pages_2m, 1);
+        assert_eq!(d.pages_4k, 0);
+    }
+
+    #[test]
+    fn effective_contiguity_spans_guest_pages_when_both_dimensions_align() {
+        // Two adjacent guest 2 MB pages whose gpas are adjacent, hosted by
+        // adjacent host 2 MB pages → an effective run of 2.
+        let mut gframes = BumpFrameSource::new(0x1000);
+        let mut guest = PageTable::new(&mut gframes);
+        guest.map(sp2m(0x400, 0x800), &mut gframes).unwrap();
+        guest.map(sp2m(0x600, 0xA00), &mut gframes).unwrap();
+        let mut hframes = BumpFrameSource::new(0x8000);
+        let mut host = PageTable::new(&mut hframes);
+        host.map(sp2m(0x800, 0x2000), &mut hframes).unwrap();
+        host.map(sp2m(0xA00, 0x2200), &mut hframes).unwrap();
+        let c = effective_contiguity(&guest, &host, PageSize::Size2M);
+        assert_eq!(c.runs, vec![2]);
+    }
+}

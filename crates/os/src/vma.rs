@@ -1,0 +1,231 @@
+//! Virtual memory areas: the OS' record of what a process has `mmap`ed.
+
+use std::fmt;
+
+use mixtlb_types::{PageSize, Permissions, Vpn};
+
+/// One contiguous virtual memory area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    /// First 4 KB virtual page of the area.
+    pub start: Vpn,
+    /// Length in 4 KB pages.
+    pub pages: u64,
+    /// Permissions of the whole area.
+    pub perms: Permissions,
+}
+
+impl Vma {
+    /// One-past-the-last 4 KB page of the area.
+    pub fn end(&self) -> Vpn {
+        self.start.add_4k(self.pages)
+    }
+
+    /// Returns `true` if the area contains the given page.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn >= self.start && vpn < self.end()
+    }
+
+    /// Returns `true` if the *entire* aligned page of `size` containing
+    /// `vpn` lies inside this area — the precondition for the OS to back
+    /// that region with a superpage.
+    pub fn covers_aligned_region(&self, vpn: Vpn, size: PageSize) -> bool {
+        let base = vpn.align_down(size);
+        base >= self.start && base.add_4k(size.pages_4k()) <= self.end()
+    }
+
+    /// Returns `true` if this area overlaps `other`.
+    pub fn overlaps(&self, other: &Vma) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+impl fmt::Display for Vma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}) {}", self.start, self.end(), self.perms)
+    }
+}
+
+/// Errors from VMA bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmaError {
+    /// The new area overlaps an existing one.
+    Overlap,
+    /// Zero-length areas are not allowed.
+    Empty,
+}
+
+impl fmt::Display for VmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmaError::Overlap => write!(f, "virtual memory area overlaps an existing area"),
+            VmaError::Empty => write!(f, "virtual memory area must have at least one page"),
+        }
+    }
+}
+
+impl std::error::Error for VmaError {}
+
+/// An ordered set of non-overlapping VMAs.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_os::VmaSet;
+/// use mixtlb_types::{Permissions, Vpn};
+///
+/// let mut vmas = VmaSet::new();
+/// vmas.insert(Vpn::new(0x1000), 512, Permissions::rw_user())?;
+/// assert!(vmas.find(Vpn::new(0x1100)).is_some());
+/// assert!(vmas.find(Vpn::new(0x2000)).is_none());
+/// # Ok::<(), mixtlb_os::VmaError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VmaSet {
+    /// Sorted by start page.
+    areas: Vec<Vma>,
+}
+
+impl VmaSet {
+    /// Creates an empty set.
+    pub fn new() -> VmaSet {
+        VmaSet::default()
+    }
+
+    /// Inserts a new area.
+    ///
+    /// # Errors
+    ///
+    /// [`VmaError::Empty`] for zero-length areas, [`VmaError::Overlap`] if
+    /// the area intersects an existing one.
+    pub fn insert(&mut self, start: Vpn, pages: u64, perms: Permissions) -> Result<(), VmaError> {
+        if pages == 0 {
+            return Err(VmaError::Empty);
+        }
+        let vma = Vma { start, pages, perms };
+        let pos = self.areas.partition_point(|a| a.start < vma.start);
+        let prev_overlaps = pos > 0 && self.areas[pos - 1].overlaps(&vma);
+        let next_overlaps = pos < self.areas.len() && self.areas[pos].overlaps(&vma);
+        if prev_overlaps || next_overlaps {
+            return Err(VmaError::Overlap);
+        }
+        self.areas.insert(pos, vma);
+        Ok(())
+    }
+
+    /// Finds the area containing a page.
+    pub fn find(&self, vpn: Vpn) -> Option<&Vma> {
+        let pos = self.areas.partition_point(|a| a.start <= vpn);
+        if pos == 0 {
+            return None;
+        }
+        let candidate = &self.areas[pos - 1];
+        candidate.contains(vpn).then_some(candidate)
+    }
+
+    /// Iterates areas in ascending virtual-address order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vma> {
+        self.areas.iter()
+    }
+
+    /// Total pages across all areas.
+    pub fn total_pages(&self) -> u64 {
+        self.areas.iter().map(|a| a.pages).sum()
+    }
+
+    /// Number of areas.
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Returns `true` if there are no areas.
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a VmaSet {
+    type Item = &'a Vma;
+    type IntoIter = std::slice::Iter<'a, Vma>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.areas.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_types::PageSize;
+
+    fn rw() -> Permissions {
+        Permissions::rw_user()
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut set = VmaSet::new();
+        set.insert(Vpn::new(100), 50, rw()).unwrap();
+        set.insert(Vpn::new(10), 20, rw()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.find(Vpn::new(10)).unwrap().start, Vpn::new(10));
+        assert_eq!(set.find(Vpn::new(149)).unwrap().start, Vpn::new(100));
+        assert!(set.find(Vpn::new(150)).is_none());
+        assert!(set.find(Vpn::new(99)).is_none());
+        // Iteration is VA-ordered regardless of insertion order.
+        let starts: Vec<_> = set.iter().map(|a| a.start.raw()).collect();
+        assert_eq!(starts, vec![10, 100]);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut set = VmaSet::new();
+        set.insert(Vpn::new(100), 50, rw()).unwrap();
+        assert_eq!(set.insert(Vpn::new(149), 1, rw()), Err(VmaError::Overlap));
+        assert_eq!(set.insert(Vpn::new(60), 41, rw()), Err(VmaError::Overlap));
+        assert_eq!(set.insert(Vpn::new(0), 500, rw()), Err(VmaError::Overlap));
+        set.insert(Vpn::new(150), 1, rw()).unwrap();
+        set.insert(Vpn::new(99), 1, rw()).unwrap();
+    }
+
+    #[test]
+    fn empty_area_rejected() {
+        let mut set = VmaSet::new();
+        assert_eq!(set.insert(Vpn::new(0), 0, rw()), Err(VmaError::Empty));
+    }
+
+    #[test]
+    fn covers_aligned_region() {
+        let vma = Vma {
+            start: Vpn::new(512),
+            pages: 1024,
+            perms: rw(),
+        };
+        // [512, 1536): the 2 MB regions [512,1024) and [1024,1536) fit.
+        assert!(vma.covers_aligned_region(Vpn::new(600), PageSize::Size2M));
+        assert!(vma.covers_aligned_region(Vpn::new(1024), PageSize::Size2M));
+        // A region straddling the end does not.
+        let vma2 = Vma {
+            start: Vpn::new(512),
+            pages: 700,
+            perms: rw(),
+        };
+        assert!(!vma2.covers_aligned_region(Vpn::new(1100), PageSize::Size2M));
+        // Unaligned start: the first region is not fully covered.
+        let vma3 = Vma {
+            start: Vpn::new(513),
+            pages: 1024,
+            perms: rw(),
+        };
+        assert!(!vma3.covers_aligned_region(Vpn::new(600), PageSize::Size2M));
+        assert!(vma3.covers_aligned_region(Vpn::new(1025), PageSize::Size2M));
+    }
+
+    #[test]
+    fn total_pages() {
+        let mut set = VmaSet::new();
+        set.insert(Vpn::new(0), 10, rw()).unwrap();
+        set.insert(Vpn::new(100), 20, rw()).unwrap();
+        assert_eq!(set.total_pages(), 30);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the page table: map/lookup/unmap agree with a naive
+//! model, and walks agree with lookups while maintaining A/D bits.
+
+use std::collections::HashMap;
+
+use mixtlb_pagetable::{BumpFrameSource, MapError, PageTable, Walker};
+use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, VirtAddr, Vpn};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Map { slot: u64, size: PageSize, pfn: u64 },
+    Unmap { slot: u64, size: PageSize },
+    Lookup { slot: u64, offset: u64 },
+    Walk { slot: u64, offset: u64, store: bool },
+}
+
+fn size_strategy() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        4 => Just(PageSize::Size4K),
+        3 => Just(PageSize::Size2M),
+        1 => Just(PageSize::Size1G),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..32, size_strategy(), 1u64..1 << 20)
+            .prop_map(|(slot, size, pfn)| Op::Map { slot, size, pfn }),
+        (0u64..32, size_strategy()).prop_map(|(slot, size)| Op::Unmap { slot, size }),
+        (0u64..32, 0u64..262_144).prop_map(|(slot, offset)| Op::Lookup { slot, offset }),
+        (0u64..32, 0u64..262_144, any::<bool>())
+            .prop_map(|(slot, offset, store)| Op::Walk { slot, offset, store }),
+    ]
+}
+
+/// Slots are 1 GB-aligned regions, so same-slot mappings of different
+/// sizes conflict exactly when the model says they overlap.
+fn slot_base(slot: u64) -> Vpn {
+    Vpn::new(slot << 18)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_table_agrees_with_a_naive_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut frames = BumpFrameSource::new(0x1000_0000);
+        let mut pt = PageTable::new(&mut frames);
+        // Model: per (slot) an optional (size, translation).
+        let mut model: HashMap<u64, Translation> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Map { slot, size, pfn } => {
+                    let base = slot_base(slot);
+                    let pfn = Pfn::new((pfn << (size.shift() - 12)) & ((1 << 36) - 1));
+                    let t = Translation::new(base, pfn, size, Permissions::rw_user());
+                    let result = pt.map(t, &mut frames);
+                    match model.get(&slot) {
+                        None => {
+                            prop_assert!(result.is_ok(), "map into empty slot failed: {result:?}");
+                            model.insert(slot, t);
+                        }
+                        Some(existing) => {
+                            // Any same-slot mapping overlaps (all mappings
+                            // share the slot's base page).
+                            let expected = if existing.size == size {
+                                MapError::AlreadyMapped
+                            } else if existing.size > size {
+                                MapError::Shadowed
+                            } else {
+                                MapError::Obstructed
+                            };
+                            prop_assert_eq!(result, Err(expected));
+                        }
+                    }
+                }
+                Op::Unmap { slot, size } => {
+                    let result = pt.unmap(slot_base(slot), size);
+                    match model.get(&slot) {
+                        Some(existing) if existing.size == size => {
+                            let removed = result.expect("model says mapped");
+                            prop_assert_eq!(removed.pfn, existing.pfn);
+                            model.remove(&slot);
+                        }
+                        _ => prop_assert_eq!(result, Err(MapError::NotMapped)),
+                    }
+                }
+                Op::Lookup { slot, offset } => {
+                    let vpn = slot_base(slot).add_4k(offset);
+                    let got = pt.lookup(vpn);
+                    let expected = model
+                        .get(&slot)
+                        .filter(|t| t.covers(vpn))
+                        .map(|t| (t.pfn, t.size));
+                    prop_assert_eq!(got.map(|t| (t.pfn, t.size)), expected);
+                }
+                Op::Walk { slot, offset, store } => {
+                    let vpn = slot_base(slot).add_4k(offset);
+                    let va = VirtAddr::from_page(vpn, 0x80);
+                    let kind = if store { AccessKind::Store } else { AccessKind::Load };
+                    let walk = Walker::walk(&mut pt, va, kind);
+                    match model.get(&slot).filter(|t| t.covers(vpn)) {
+                        Some(t) => {
+                            let found = walk.translation.expect("model says mapped");
+                            prop_assert_eq!(found.pfn, t.pfn);
+                            prop_assert!(found.accessed, "walks set the accessed bit");
+                            if store {
+                                prop_assert!(found.dirty, "store walks set the dirty bit");
+                            }
+                            // Walk depth matches the leaf level.
+                            let expected_reads = match t.size {
+                                PageSize::Size4K => 4,
+                                PageSize::Size2M => 3,
+                                PageSize::Size1G => 2,
+                            };
+                            prop_assert_eq!(walk.pte_reads.len(), expected_reads);
+                        }
+                        None => prop_assert!(walk.is_fault()),
+                    }
+                }
+            }
+            // Mapped counts always equal the model's.
+            let (c4, c2, c1) = pt.mapped_counts();
+            let m4 = model.values().filter(|t| t.size == PageSize::Size4K).count() as u64;
+            let m2 = model.values().filter(|t| t.size == PageSize::Size2M).count() as u64;
+            let m1 = model.values().filter(|t| t.size == PageSize::Size1G).count() as u64;
+            prop_assert_eq!((c4, c2, c1), (m4, m2, m1));
+        }
+    }
+
+    /// The walker's line translations are always true leaves of the table and
+    /// include the requested translation.
+    #[test]
+    fn line_translations_are_true_leaves(
+        count in 1u64..16,
+        stride in 1u64..3,
+        probe in 0u64..16,
+    ) {
+        let mut frames = BumpFrameSource::new(0x1000_0000);
+        let mut pt = PageTable::new(&mut frames);
+        for i in 0..count {
+            let t = Translation::new(
+                Vpn::new(i * stride * 512),
+                Pfn::new(0x80_0000 + i * 512),
+                PageSize::Size2M,
+                Permissions::rw_user(),
+            );
+            pt.map(t, &mut frames).expect("strided mappings never overlap");
+        }
+        let target = (probe % count) * stride * 512;
+        let walk = Walker::walk(&mut pt, VirtAddr::new(target * 4096), AccessKind::Load);
+        let requested = walk.translation.expect("mapped");
+        prop_assert!(walk.line_translations.contains(&requested));
+        for t in &walk.line_translations {
+            prop_assert_eq!(pt.lookup(t.vpn).map(|x| x.pfn), Some(t.pfn));
+        }
+        // Ascending VA order.
+        for pair in walk.line_translations.windows(2) {
+            prop_assert!(pair[0].vpn < pair[1].vpn);
+        }
+    }
+}

@@ -1,0 +1,698 @@
+//! The translation engine: trace replay against a TLB hierarchy with
+//! page-table walks through the cache hierarchy.
+
+use mixtlb_cache::{CacheHierarchy, HierarchyConfig, HierarchyStats, PageWalkCache};
+use mixtlb_core::{Lookup, MixTlb, MixTlbConfig, TlbDevice, TlbStats};
+use mixtlb_energy::WalkTraffic;
+use mixtlb_pagetable::{NestedTranslationCache, NestedWalker, PageTable, Walker};
+use mixtlb_trace::TraceEvent;
+use mixtlb_types::{PhysAddr, Translation, VirtAddr, Vpn};
+
+/// A two-level TLB hierarchy under test.
+pub struct TlbHierarchy {
+    name: String,
+    /// The L1 TLB.
+    pub l1: Box<dyn TlbDevice>,
+    /// The L2 TLB, if present.
+    pub l2: Option<Box<dyn TlbDevice>>,
+    total_entries: usize,
+}
+
+impl std::fmt::Debug for TlbHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlbHierarchy")
+            .field("name", &self.name)
+            .field("l1", &self.l1.name())
+            .field("l2", &self.l2.as_ref().map(|t| t.name().to_owned()))
+            .finish()
+    }
+}
+
+impl TlbHierarchy {
+    /// Assembles a hierarchy. `total_entries` (for leakage) defaults to the
+    /// Haswell budget of 644; override with [`TlbHierarchy::with_entries`].
+    pub fn new(
+        name: &str,
+        l1: Box<dyn TlbDevice>,
+        l2: Option<Box<dyn TlbDevice>>,
+    ) -> TlbHierarchy {
+        TlbHierarchy {
+            name: name.to_owned(),
+            l1,
+            l2,
+            total_entries: 644,
+        }
+    }
+
+    /// Sets the total entry count used for leakage accounting.
+    pub fn with_entries(mut self, entries: usize) -> TlbHierarchy {
+        self.total_entries = entries;
+        self
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total entries across levels (leakage accounting).
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+}
+
+/// Which page-table structure misses walk.
+pub enum WalkBackend<'a> {
+    /// A native 4-level walk.
+    Native(&'a mut PageTable),
+    /// A virtualized 2-D walk: guest table + host (EPT) table.
+    Nested {
+        /// The guest's page table (guest virtual → guest physical).
+        guest: &'a mut PageTable,
+        /// The host's nested table (guest physical → system physical).
+        host: &'a mut PageTable,
+    },
+}
+
+impl std::fmt::Debug for WalkBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkBackend::Native(_) => write!(f, "WalkBackend::Native"),
+            WalkBackend::Nested { .. } => write!(f, "WalkBackend::Nested"),
+        }
+    }
+}
+
+/// Adapts any [`TlbDevice`] into the nested-walker's gPA→sPA cache.
+struct NtlbAdapter<'a>(&'a mut dyn TlbDevice);
+
+impl NestedTranslationCache for NtlbAdapter<'_> {
+    fn lookup_gpa(&mut self, gpn: Vpn) -> Option<Translation> {
+        match self.0.lookup(gpn, mixtlb_types::AccessKind::Load) {
+            Lookup::Hit { translation, .. } => Some(translation),
+            Lookup::Miss => None,
+        }
+    }
+
+    fn fill_gpa(&mut self, gpn: Vpn, t: &Translation, line: &[Translation]) {
+        self.0.fill(gpn, t, line);
+    }
+}
+
+impl std::fmt::Debug for TranslationEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TranslationEngine")
+            .field("hierarchy", &self.hierarchy)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+struct UnifiedWalk {
+    translation: Option<Translation>,
+    pte_reads: Vec<PhysAddr>,
+    pte_writes: Vec<PhysAddr>,
+    line: Vec<Translation>,
+}
+
+/// Event counters for one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Trace events replayed.
+    pub accesses: u64,
+    /// L1 TLB hits.
+    pub l1_hits: u64,
+    /// L2 TLB hits (on L1 misses).
+    pub l2_hits: u64,
+    /// Page-table walks (misses at every level).
+    pub walks: u64,
+    /// Walks that faulted (should be zero after pre-faulting).
+    pub faults: u64,
+    /// Translation stall cycles: L2 probe latency on L1 misses plus the
+    /// memory-reference latency of walks.
+    pub stall_cycles: u64,
+    /// Walk memory traffic, for the energy model.
+    pub walk_traffic: WalkTraffic,
+    /// Dirty-bit update micro-ops injected on store hits.
+    pub dirty_microops: u64,
+}
+
+/// Replays trace events against a [`TlbHierarchy`], walking the configured
+/// [`WalkBackend`] on misses. PTE references go through a functional cache
+/// hierarchy; the latencies they see become translation stall cycles
+/// (paper Sec. 6.2).
+pub struct TranslationEngine<'a> {
+    hierarchy: TlbHierarchy,
+    caches: CacheHierarchy,
+    /// Paging-structure cache: upper-level PTE reads that hit here cost
+    /// one cycle and no memory reference (Haswell's MMU caches). `None`
+    /// disables it (an ablation: pre-MMU-cache hardware).
+    pwc: Option<PageWalkCache>,
+    /// Nested TLB (gPA → sPA, AMD-NPT style), consulted by 2-D walks so
+    /// guest PTE reads do not each pay a full host walk. Part of the MMU,
+    /// shared by every design under test. `None` disables it.
+    ntlb: Option<Box<dyn TlbDevice>>,
+    backend: WalkBackend<'a>,
+    l2_hit_cycles: u64,
+    stats: EngineStats,
+}
+
+impl<'a> TranslationEngine<'a> {
+    /// Creates an engine over a hierarchy and a walk backend, with the
+    /// Haswell cache hierarchy and a 7-cycle L2 TLB latency (Sec. 4).
+    pub fn new(hierarchy: TlbHierarchy, backend: WalkBackend<'a>) -> TranslationEngine<'a> {
+        TranslationEngine {
+            hierarchy,
+            caches: CacheHierarchy::new(HierarchyConfig::haswell()),
+            pwc: Some(PageWalkCache::new(32)),
+            ntlb: Some(Box::new(MixTlb::new(
+                MixTlbConfig::l1(8, 4).named("nested-tlb"),
+            ))),
+            backend,
+            l2_hit_cycles: 7,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The hierarchy under test.
+    pub fn hierarchy(&self) -> &TlbHierarchy {
+        &self.hierarchy
+    }
+
+    /// Disables the paging-structure cache (ablation: every walk reference
+    /// goes through the memory hierarchy).
+    pub fn disable_pwc(&mut self) {
+        self.pwc = None;
+    }
+
+    /// Disables the nested TLB (ablation: every guest-physical access of a
+    /// 2-D walk pays a full host walk — the canonical 24 references).
+    pub fn disable_nested_tlb(&mut self) {
+        self.ntlb = None;
+    }
+
+    /// Flushes every TLB level (a context switch on hardware without
+    /// ASIDs/PCIDs, or a full shootdown). MMU caches (PWC, nested TLB)
+    /// are flushed too; data caches survive, as on real hardware.
+    pub fn flush_tlbs(&mut self) {
+        self.hierarchy.l1.flush();
+        if let Some(l2) = self.hierarchy.l2.as_mut() {
+            l2.flush();
+        }
+        if let Some(pwc) = self.pwc.as_mut() {
+            pwc.flush();
+        }
+        if let Some(ntlb) = self.ntlb.as_mut() {
+            ntlb.flush();
+        }
+    }
+
+    /// Translates one trace event. Returns the physical address, or `None`
+    /// on a page fault (which is also counted).
+    pub fn access(&mut self, ev: &TraceEvent) -> Option<PhysAddr> {
+        self.stats.accesses += 1;
+        let vpn = ev.va.vpn();
+        // L1. Extra serial probes (hash-rehash) cost pipeline bubbles.
+        let l1_serial_before = self.hierarchy.l1.stats().serial_probes;
+        let l1_result = self.hierarchy.l1.lookup_pc(vpn, ev.kind, ev.pc);
+        let l1_serial = self.hierarchy.l1.stats().serial_probes - l1_serial_before;
+        self.stats.stall_cycles += 2 * l1_serial;
+        match l1_result {
+            Lookup::Hit {
+                translation,
+                dirty_microop,
+                ..
+            } => {
+                if dirty_microop {
+                    self.handle_dirty_microop(vpn);
+                }
+                self.stats.l1_hits += 1;
+                return translation.translate(ev.va).ok();
+            }
+            Lookup::Miss => {}
+        }
+        // L2.
+        if self.hierarchy.l2.is_some() {
+            self.stats.stall_cycles += self.l2_hit_cycles;
+            let l2 = self.hierarchy.l2.as_mut().expect("just checked");
+            let l2_serial_before = l2.stats().serial_probes;
+            let l2_result = l2.lookup_pc(vpn, ev.kind, ev.pc);
+            let l2_serial = l2.stats().serial_probes - l2_serial_before;
+            self.stats.stall_cycles += self.l2_hit_cycles * l2_serial;
+            match l2_result {
+                Lookup::Hit {
+                    translation,
+                    dirty_microop,
+                    run,
+                } => {
+                    if dirty_microop {
+                        self.handle_dirty_microop(vpn);
+                    }
+                    self.stats.l2_hits += 1;
+                    // Refill L1 from the L2 hit. A coalescing L2 entry
+                    // hands its whole run down, so a MIX L1 can absorb the
+                    // bundle instead of a lone translation.
+                    match run {
+                        Some(run) if run.len > 1 => {
+                            let line = run.translations();
+                            self.hierarchy.l1.fill(vpn, &translation, &line);
+                        }
+                        _ => {
+                            self.hierarchy.l1.fill(vpn, &translation, &[translation]);
+                        }
+                    }
+                    return translation.translate(ev.va).ok();
+                }
+                Lookup::Miss => {}
+            }
+        }
+        // Walk. All PTE reads but the last are upper-level paging
+        // structures; the paging-structure cache serves most of them in a
+        // cycle without touching the memory hierarchy.
+        self.stats.walks += 1;
+        let walk = self.walk(ev.va, ev.kind);
+        let last = walk.pte_reads.len().saturating_sub(1);
+        for (i, pa) in walk.pte_reads.iter().enumerate() {
+            if i != last && self.pwc.as_mut().is_some_and(|pwc| pwc.access(*pa)) {
+                self.stats.stall_cycles += 1;
+                continue;
+            }
+            let result = self.caches.access(*pa);
+            self.stats.stall_cycles += result.cycles;
+            match result.level_hit {
+                Some(level) => self.stats.walk_traffic.cache_hits[level.min(2)] += 1,
+                None => self.stats.walk_traffic.dram_accesses += 1,
+            }
+        }
+        for pa in &walk.pte_writes {
+            let result = self.caches.access(*pa);
+            self.stats.stall_cycles += result.cycles;
+            self.stats.walk_traffic.pte_writes += 1;
+        }
+        let Some(translation) = walk.translation else {
+            self.stats.faults += 1;
+            return None;
+        };
+        if let Some(l2) = self.hierarchy.l2.as_mut() {
+            l2.fill(vpn, &translation, &walk.line);
+            // A coalescing L2 may have merged this fill into an entry that
+            // already covered neighbouring translations; hand the merged
+            // run down so the L1 absorbs the full extent (same datapath
+            // as an L2-hit handdown).
+            if let Some(run) = l2.peek_run(vpn) {
+                if run.len as usize > walk.line.len() {
+                    let line = run.translations();
+                    self.hierarchy.l1.fill(vpn, &translation, &line);
+                    return translation.translate(ev.va).ok();
+                }
+            }
+        }
+        self.hierarchy.l1.fill(vpn, &translation, &walk.line);
+        translation.translate(ev.va).ok()
+    }
+
+    /// Replays a batch of events.
+    pub fn run<I: IntoIterator<Item = TraceEvent>>(&mut self, events: I) {
+        for ev in events {
+            self.access(&ev);
+        }
+    }
+
+    fn walk(&mut self, va: VirtAddr, kind: mixtlb_types::AccessKind) -> UnifiedWalk {
+        match &mut self.backend {
+            WalkBackend::Native(pt) => {
+                let w = Walker::walk(pt, va, kind);
+                UnifiedWalk {
+                    translation: w.translation,
+                    pte_reads: w.pte_reads,
+                    pte_writes: w.pte_writes,
+                    line: w.line_translations,
+                }
+            }
+            WalkBackend::Nested { guest, host } => {
+                let w = match self.ntlb.as_mut() {
+                    Some(ntlb) => {
+                        let mut cache = NtlbAdapter(ntlb.as_mut());
+                        NestedWalker::walk_cached(guest, host, va, kind, &mut cache)
+                    }
+                    None => NestedWalker::walk(guest, host, va, kind),
+                };
+                UnifiedWalk {
+                    translation: w.translation,
+                    pte_reads: w.pte_reads,
+                    pte_writes: w.pte_writes,
+                    line: w.line_translations,
+                }
+            }
+        }
+    }
+
+    /// A store hit an entry whose dirty bit is clear: write the PTE's
+    /// dirty bit (off the critical path — cache traffic and energy, not
+    /// stall cycles; Sec. 4.4).
+    fn handle_dirty_microop(&mut self, vpn: Vpn) {
+        self.stats.dirty_microops += 1;
+        let pte_pa = match &mut self.backend {
+            WalkBackend::Native(pt) => pt.set_dirty(vpn),
+            WalkBackend::Nested { guest, host } => {
+                // The guest PTE's dirty bit lives at a guest-physical
+                // address; route the write through the EPT mapping.
+                guest.set_dirty(vpn).and_then(|gpa| {
+                    host.lookup(Vpn::new(gpa.pfn().raw()))
+                        .and_then(|h| h.translate(VirtAddr::new(gpa.raw())).ok())
+                })
+            }
+        };
+        if let Some(pa) = pte_pa {
+            self.caches.access(pa);
+            self.stats.walk_traffic.pte_writes += 1;
+        }
+    }
+
+    /// Finishes the run: engine counters, per-level TLB stats, and cache
+    /// statistics.
+    pub fn finish(self) -> (EngineStats, TlbStats, Option<TlbStats>, HierarchyStats) {
+        let l1 = self.hierarchy.l1.stats();
+        let l2 = self.hierarchy.l2.as_ref().map(|t| t.stats());
+        (self.stats, l1, l2, self.caches.stats())
+    }
+
+    /// The running counters (without consuming the engine).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixtlb_core::{MixTlb, MixTlbConfig};
+    use mixtlb_pagetable::BumpFrameSource;
+    use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation};
+
+    fn small_world() -> (PageTable, BumpFrameSource) {
+        let mut frames = BumpFrameSource::new(0x10_0000);
+        let mut pt = PageTable::new(&mut frames);
+        for i in 0..4u64 {
+            pt.map(
+                Translation::new(
+                    Vpn::new(0x400 + i * 512),
+                    Pfn::new(0x8000 + i * 512),
+                    PageSize::Size2M,
+                    Permissions::rw_user(),
+                ),
+                &mut frames,
+            )
+            .unwrap();
+        }
+        (pt, frames)
+    }
+
+    fn hierarchy() -> TlbHierarchy {
+        TlbHierarchy::new(
+            "mix-test",
+            Box::new(MixTlb::new(MixTlbConfig::l1(4, 2))),
+            Some(Box::new(MixTlb::new(MixTlbConfig::l2(16, 4)))),
+        )
+    }
+
+    fn ev(va: u64, kind: AccessKind) -> TraceEvent {
+        TraceEvent {
+            pc: 0x40_0000,
+            va: VirtAddr::new(va),
+            kind,
+        }
+    }
+
+    #[test]
+    fn translation_is_correct_through_all_paths() {
+        let (mut pt, _frames) = small_world();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        let va = 0x400u64 * 4096 + 0x123;
+        // Cold: walk.
+        let pa = engine.access(&ev(va, AccessKind::Load)).unwrap();
+        assert_eq!(pa.raw(), 0x8000u64 * 4096 + 0x123);
+        // Warm: L1 hit yields the same PA.
+        let pa2 = engine.access(&ev(va, AccessKind::Load)).unwrap();
+        assert_eq!(pa, pa2);
+        let stats = engine.stats();
+        assert_eq!(stats.walks, 1);
+        assert_eq!(stats.l1_hits, 1);
+        assert_eq!(stats.faults, 0);
+    }
+
+    #[test]
+    fn stall_cycles_shrink_as_tlbs_warm() {
+        let (mut pt, _frames) = small_world();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        let va = 0x400u64 * 4096;
+        engine.access(&ev(va, AccessKind::Load));
+        let cold = engine.stats().stall_cycles;
+        engine.access(&ev(va, AccessKind::Load));
+        assert_eq!(engine.stats().stall_cycles, cold, "L1 hits stall nothing");
+    }
+
+    #[test]
+    fn faults_are_counted_not_fatal() {
+        let (mut pt, _frames) = small_world();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        assert!(engine.access(&ev(0x9999_9000, AccessKind::Load)).is_none());
+        assert_eq!(engine.stats().faults, 1);
+    }
+
+    #[test]
+    fn store_dirty_microops_touch_the_page_table() {
+        let (mut pt, _frames) = small_world();
+        {
+            let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+            let va = 0x400u64 * 4096;
+            engine.access(&ev(va, AccessKind::Load)); // fill (clean)
+            engine.access(&ev(va, AccessKind::Store)); // hit: micro-op
+            let stats = engine.stats();
+            assert_eq!(stats.dirty_microops, 1);
+            assert_eq!(stats.walk_traffic.pte_writes, 1);
+        }
+        assert!(pt.lookup(Vpn::new(0x400)).unwrap().dirty);
+    }
+
+    #[test]
+    fn walk_traffic_reaches_dram_when_cold() {
+        let (mut pt, _frames) = small_world();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        engine.access(&ev(0x400u64 * 4096, AccessKind::Load));
+        let t = engine.stats().walk_traffic;
+        assert!(t.dram_accesses > 0);
+        assert_eq!(t.total_reads(), 3); // 2 MB leaf: 3 PTE reads
+    }
+
+    #[test]
+    fn coalescing_turns_neighbour_misses_into_hits() {
+        // After walking superpage 0 (whose PTE cache line holds all 4
+        // contiguous superpages), the other three are TLB hits: the L1's
+        // 4-superpage bundle covers two of them, and the L2's 16-superpage
+        // bundle covers the rest — no further walks.
+        let (mut pt, _frames) = small_world();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        engine.access(&ev(0x400u64 * 4096, AccessKind::Load));
+        for i in 1..4u64 {
+            engine.access(&ev((0x400 + i * 512) * 4096, AccessKind::Load));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.walks, 1);
+        assert_eq!(stats.l1_hits + stats.l2_hits, 3);
+        assert!(stats.l1_hits >= 1);
+    }
+
+    /// Two 2 MB pages sharing PML4/PDPT/PD nodes but living in different
+    /// PTE cache lines *and* different coalescing bundles, so the second
+    /// access misses the TLBs and walks.
+    fn two_distant_superpages() -> (PageTable, mixtlb_pagetable::BumpFrameSource) {
+        use mixtlb_types::{PageSize, Permissions, Pfn};
+        let mut frames = mixtlb_pagetable::BumpFrameSource::new(0x10_0000);
+        let mut pt = PageTable::new(&mut frames);
+        for idx in [2u64, 18] {
+            pt.map(
+                Translation::new(
+                    Vpn::new(idx * 512),
+                    Pfn::new(0x8000 + idx * 512),
+                    PageSize::Size2M,
+                    Permissions::rw_user(),
+                ),
+                &mut frames,
+            )
+            .unwrap();
+        }
+        (pt, frames)
+    }
+
+    #[test]
+    fn pwc_serves_upper_levels_after_warmup() {
+        let (mut pt, _frames) = two_distant_superpages();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        // First walk: all 3 PTE reads go through the memory hierarchy.
+        engine.access(&ev(2 * 512 * 4096, AccessKind::Load));
+        let first = engine.stats().walk_traffic.total_reads();
+        assert_eq!(first, 3);
+        // The distant superpage misses the TLBs; its walk's PML4 and PDPT
+        // reads hit the PWC, so only the leaf PD read touches memory.
+        engine.access(&ev(18 * 512 * 4096, AccessKind::Load));
+        assert_eq!(engine.stats().walks, 2, "second access must walk");
+        let second = engine.stats().walk_traffic.total_reads() - first;
+        assert_eq!(second, 1, "PWC must absorb the upper-level reads");
+    }
+
+    #[test]
+    fn disabling_the_pwc_restores_full_walk_traffic() {
+        let (mut pt, _frames) = two_distant_superpages();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        engine.disable_pwc();
+        engine.access(&ev(2 * 512 * 4096, AccessKind::Load));
+        engine.access(&ev(18 * 512 * 4096, AccessKind::Load));
+        assert_eq!(engine.stats().walks, 2);
+        assert_eq!(engine.stats().walk_traffic.total_reads(), 6);
+    }
+
+    #[test]
+    fn serial_probes_cost_extra_l2_latency() {
+        use mixtlb_core::{MultiProbeConfig, MultiProbeTlb};
+        // L2 = hash-rehash of all sizes: a 2 MB hit needs 2 serial probes.
+        let (mut pt, _frames) = small_world();
+        let h = TlbHierarchy::new(
+            "hr-test",
+            Box::new(MixTlb::new(MixTlbConfig::l1(4, 2))),
+            Some(Box::new(MultiProbeTlb::new(MultiProbeConfig::all_sizes(16, 4)))),
+        );
+        let mut engine = TranslationEngine::new(h, WalkBackend::Native(&mut pt));
+        let va = 0x400u64 * 4096;
+        engine.access(&ev(va, AccessKind::Load)); // cold walk
+        let after_walk = engine.stats().stall_cycles;
+        // Evict from L1 by flushing it, then hit the hash-rehash L2: the
+        // 2 MB entry is found on the SECOND probe, costing 2 x 7 cycles.
+        engine.hierarchy.l1.flush();
+        engine.access(&ev(va, AccessKind::Load));
+        assert_eq!(engine.stats().stall_cycles - after_walk, 14);
+        assert_eq!(engine.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn nested_backend_charges_two_dimensional_walks() {
+        use mixtlb_pagetable::BumpFrameSource;
+        use mixtlb_types::Permissions;
+        // Guest: one 4 KB page; host: 4 KB identity-with-offset backing.
+        let mut gframes = BumpFrameSource::new(0x1000);
+        let mut guest = PageTable::new(&mut gframes);
+        let mut hframes = BumpFrameSource::new(0x80_0000);
+        let mut host = PageTable::new(&mut hframes);
+        for gpn in 0..0x3000u64 {
+            host.map(
+                Translation::new(
+                    Vpn::new(gpn),
+                    mixtlb_types::Pfn::new(0x10_0000 + gpn),
+                    mixtlb_types::PageSize::Size4K,
+                    Permissions::rw_user(),
+                ),
+                &mut hframes,
+            )
+            .unwrap();
+        }
+        guest
+            .map(
+                Translation::new(
+                    Vpn::new(5),
+                    mixtlb_types::Pfn::new(0x50),
+                    mixtlb_types::PageSize::Size4K,
+                    Permissions::rw_user(),
+                ),
+                &mut gframes,
+            )
+            .unwrap();
+        let mut engine = TranslationEngine::new(
+            hierarchy(),
+            WalkBackend::Nested {
+                guest: &mut guest,
+                host: &mut host,
+            },
+        );
+        let pa = engine.access(&ev(5 * 4096 + 0x42, AccessKind::Load)).unwrap();
+        assert_eq!(pa.raw(), (0x10_0000 + 0x50) * 4096 + 0x42);
+        // 24 PTE reads, some PWC-absorbed, the rest through the caches.
+        let t = engine.stats().walk_traffic;
+        assert!(t.total_reads() <= 24 && t.total_reads() >= 4);
+    }
+
+    #[test]
+    fn nested_tlb_cuts_two_dimensional_walk_traffic() {
+        use mixtlb_pagetable::BumpFrameSource;
+        use mixtlb_types::{PageSize, Permissions, Pfn};
+        let build = || {
+            let mut gframes = BumpFrameSource::new(0x1000);
+            let mut guest = PageTable::new(&mut gframes);
+            let mut hframes = BumpFrameSource::new(0x80_0000);
+            let mut host = PageTable::new(&mut hframes);
+            for gpn in (0..0x3000u64).step_by(512) {
+                host.map(
+                    Translation::new(
+                        Vpn::new(gpn),
+                        Pfn::new(0x10_0000 + gpn),
+                        PageSize::Size2M,
+                        Permissions::rw_user(),
+                    ),
+                    &mut hframes,
+                )
+                .unwrap();
+            }
+            // Guest pages in different guest PT nodes to force repeated
+            // guest-PTE host translations.
+            for slot in 0..4u64 {
+                guest
+                    .map(
+                        Translation::new(
+                            Vpn::new(slot << 18),
+                            Pfn::new(0x100 + slot * 8),
+                            PageSize::Size4K,
+                            Permissions::rw_user(),
+                        ),
+                        &mut gframes,
+                    )
+                    .unwrap();
+            }
+            (guest, host)
+        };
+        let run = |disable: bool| {
+            let (mut guest, mut host) = build();
+            let mut engine = TranslationEngine::new(
+                hierarchy(),
+                WalkBackend::Nested {
+                    guest: &mut guest,
+                    host: &mut host,
+                },
+            );
+            engine.disable_pwc();
+            if disable {
+                engine.disable_nested_tlb();
+            }
+            for slot in 0..4u64 {
+                engine.access(&ev((slot << 18) * 4096, AccessKind::Load));
+            }
+            engine.stats().walk_traffic.total_reads()
+        };
+        let with_ntlb = run(false);
+        let without = run(true);
+        assert!(
+            with_ntlb < without,
+            "nested TLB must reduce walk references: {with_ntlb} vs {without}"
+        );
+    }
+
+    #[test]
+    fn finish_exposes_all_statistics() {
+        let (mut pt, _frames) = small_world();
+        let mut engine = TranslationEngine::new(hierarchy(), WalkBackend::Native(&mut pt));
+        engine.run([ev(0x400u64 * 4096, AccessKind::Load)]);
+        let (stats, l1, l2, caches) = engine.finish();
+        assert_eq!(stats.accesses, 1);
+        assert_eq!(l1.lookups, 1);
+        assert_eq!(l2.unwrap().lookups, 1);
+        assert!(caches.total_cycles > 0);
+    }
+}

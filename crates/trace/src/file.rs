@@ -1,0 +1,253 @@
+//! Trace recording and replay: a compact binary on-disk format.
+//!
+//! The paper's methodology records Pin memory traces once and replays them
+//! through many TLB configurations (Sec. 6.2). This module provides the
+//! equivalent tooling for our synthetic traces: record any event stream to
+//! a file, then replay it any number of times — guaranteeing every design
+//! sees byte-identical input, and letting expensive generators (or, with
+//! external conversion, real Pin traces) be captured once.
+//!
+//! # Format
+//!
+//! A 16-byte header (`magic "MXTLBTRC"`, `u32` version, `u32` reserved)
+//! followed by fixed-size little-endian records:
+//!
+//! ```text
+//! u64 pc | u64 virtual address | u8 kind (0 load, 1 store, 2 fetch)
+//! ```
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mixtlb_trace::{TraceFile, TraceGenerator, WorkloadSpec};
+//! use mixtlb_types::Vpn;
+//!
+//! let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(1 << 24);
+//! let gen = TraceGenerator::new(&spec, 42, Vpn::new(0x1000));
+//! TraceFile::record("gups.trc", gen.take(100_000))?;
+//! for event in TraceFile::open("gups.trc")? {
+//!     let _event = event?;
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use mixtlb_types::{AccessKind, VirtAddr};
+
+use crate::generator::TraceEvent;
+
+const MAGIC: &[u8; 8] = b"MXTLBTRC";
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 17;
+
+/// Reader/writer for the binary trace format.
+#[derive(Debug)]
+pub struct TraceFile {
+    reader: BufReader<File>,
+    remaining_hint: Option<u64>,
+}
+
+impl TraceFile {
+    /// Records an event stream to `path`. Returns the number of events
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn record<I: IntoIterator<Item = TraceEvent>>(
+        path: impl AsRef<Path>,
+        events: I,
+    ) -> io::Result<u64> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?;
+        let mut count = 0u64;
+        for ev in events {
+            let mut rec = [0u8; RECORD_BYTES];
+            rec[0..8].copy_from_slice(&ev.pc.to_le_bytes());
+            rec[8..16].copy_from_slice(&ev.va.raw().to_le_bytes());
+            rec[16] = match ev.kind {
+                AccessKind::Load => 0,
+                AccessKind::Store => 1,
+                AccessKind::Fetch => 2,
+            };
+            out.write_all(&rec)?;
+            count += 1;
+        }
+        out.flush()?;
+        Ok(count)
+    }
+
+    /// Opens a trace for replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] if the file is not a trace
+    /// (bad magic or unsupported version), or propagates I/O errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<TraceFile> {
+        let file = File::open(&path)?;
+        let len = file.metadata().ok().map(|m| m.len());
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a mixtlb trace file (bad magic)",
+            ));
+        }
+        let mut word = [0u8; 4];
+        reader.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        reader.read_exact(&mut word)?; // reserved
+        let remaining_hint = len.map(|l| (l.saturating_sub(16)) / RECORD_BYTES as u64);
+        Ok(TraceFile {
+            reader,
+            remaining_hint,
+        })
+    }
+
+    /// Number of records the file holds, if the size was determinable.
+    pub fn len_hint(&self) -> Option<u64> {
+        self.remaining_hint
+    }
+}
+
+impl Iterator for TraceFile {
+    type Item = io::Result<TraceEvent>;
+
+    fn next(&mut self) -> Option<io::Result<TraceEvent>> {
+        let mut rec = [0u8; RECORD_BYTES];
+        match self.reader.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => return Some(Err(e)),
+        }
+        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
+        let va = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+        let kind = match rec[16] {
+            0 => AccessKind::Load,
+            1 => AccessKind::Store,
+            2 => AccessKind::Fetch,
+            other => {
+                return Some(Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("invalid access kind {other}"),
+                )))
+            }
+        };
+        Some(Ok(TraceEvent {
+            pc,
+            va: VirtAddr::new(va),
+            kind,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::workloads::WorkloadSpec;
+    use mixtlb_types::Vpn;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mixtlb-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn record_replay_roundtrip() {
+        let spec = WorkloadSpec::by_name("memcached")
+            .unwrap()
+            .with_footprint(1 << 24);
+        let original: Vec<TraceEvent> = TraceGenerator::new(&spec, 7, Vpn::new(0x1000))
+            .take(5_000)
+            .collect();
+        let path = temp("roundtrip.trc");
+        let written = TraceFile::record(&path, original.iter().copied()).unwrap();
+        assert_eq!(written, 5_000);
+        let file = TraceFile::open(&path).unwrap();
+        assert_eq!(file.len_hint(), Some(5_000));
+        let replayed: Vec<TraceEvent> = file.map(|e| e.unwrap()).collect();
+        assert_eq!(replayed, original);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let path = temp("empty.trc");
+        TraceFile::record(&path, std::iter::empty()).unwrap();
+        let mut file = TraceFile::open(&path).unwrap();
+        assert!(file.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_access_kinds_roundtrip() {
+        let path = temp("kinds.trc");
+        let events = vec![
+            TraceEvent { pc: 1, va: VirtAddr::new(0x1000), kind: AccessKind::Load },
+            TraceEvent { pc: 2, va: VirtAddr::new(0x2000), kind: AccessKind::Store },
+            TraceEvent { pc: 3, va: VirtAddr::new(0x3000), kind: AccessKind::Fetch },
+        ];
+        TraceFile::record(&path, events.iter().copied()).unwrap();
+        let replayed: Vec<TraceEvent> = TraceFile::open(&path)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .collect();
+        assert_eq!(replayed, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = temp("bad.trc");
+        std::fs::write(&path, b"NOTATRACE_______________").unwrap();
+        let err = TraceFile::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_ends_iteration() {
+        let path = temp("trunc.trc");
+        let events = vec![TraceEvent {
+            pc: 1,
+            va: VirtAddr::new(0x1000),
+            kind: AccessKind::Load,
+        }];
+        TraceFile::record(&path, events).unwrap();
+        // Chop 5 bytes off the record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut file = TraceFile::open(&path).unwrap();
+        // A partial record reads as EOF (clean end).
+        assert!(file.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_kind_is_an_error() {
+        let path = temp("kind.trc");
+        TraceFile::record(&path, std::iter::empty()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 16]);
+        bytes.push(9); // bogus kind
+        std::fs::write(&path, &bytes).unwrap();
+        let mut file = TraceFile::open(&path).unwrap();
+        assert!(file.next().unwrap().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

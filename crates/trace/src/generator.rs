@@ -1,0 +1,328 @@
+//! The trace generator: one seeded iterator per workload.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mixtlb_types::{AccessKind, VirtAddr, Vpn, PAGE_SIZE_4K};
+
+use crate::workloads::{AccessPattern, WorkloadSpec};
+
+/// One memory reference of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// PC of the instruction making the access (predictor index).
+    pub pc: u64,
+    /// The virtual address accessed.
+    pub va: VirtAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+/// An infinite, deterministic stream of [`TraceEvent`]s reproducing a
+/// workload's access-pattern class. See the [crate docs](crate) for the
+/// substitution rationale.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    pattern: AccessPattern,
+    store_fraction: f64,
+    /// Footprint base, in bytes.
+    base: u64,
+    /// Footprint length, in bytes.
+    len: u64,
+    rng: SmallRng,
+    /// Pattern state: current position(s), in bytes from `base`.
+    cursor: u64,
+    streams: Vec<u64>,
+    stream_idx: usize,
+    burst_left: u32,
+    /// Synthetic code region the PC stream walks through.
+    pc_base: u64,
+    pc_count: u64,
+    /// Zipf parameters (precomputed).
+    zipf_pages: u64,
+    zipf_exp: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec`, seeded with `seed`, with the
+    /// footprint starting at the 4 KB page `region_base`.
+    pub fn new(spec: &WorkloadSpec, seed: u64, region_base: Vpn) -> TraceGenerator {
+        let pattern = spec.pattern;
+        let len = spec.footprint_bytes;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7261_6365); // "race"
+        let streams = match pattern {
+            // Grid-stride tiling: the machine's CTAs process *adjacent*
+            // 2 MB tiles concurrently, then jump forward one tile-group —
+            // cursor k lives in tile `tile_group * streams + k`.
+            AccessPattern::CoalescedStreams { streams } => vec![0; streams as usize],
+            _ => Vec::new(),
+        };
+        let cursor = rng.gen_range(0..len.max(1));
+        let pages = spec.footprint_pages().max(1);
+        let zipf_theta = match pattern {
+            AccessPattern::Zipf { theta } => Some(theta),
+            AccessPattern::ScanPoint { .. } => Some(0.9),
+            _ => None,
+        };
+        let zipf_exp = match zipf_theta {
+            Some(theta) => {
+                assert!(
+                    theta > 0.0 && (theta - 1.0).abs() > 1e-6,
+                    "theta must be > 0 and != 1"
+                );
+                1.0 - theta
+            }
+            None => 0.0,
+        };
+        TraceGenerator {
+            pattern,
+            store_fraction: spec.store_fraction,
+            base: region_base.raw() * PAGE_SIZE_4K,
+            len,
+            rng,
+            cursor,
+            streams,
+            stream_idx: 0,
+            burst_left: 0,
+            pc_base: 0x40_0000, // a typical text-segment base
+            pc_count: 32,
+            zipf_pages: pages,
+            zipf_exp,
+        }
+    }
+
+    /// Samples a Zipf-distributed page rank in `[0, zipf_pages)` via the
+    /// inverse-CDF of the continuous bounded-Pareto approximation, then
+    /// scrambles it so the hot set is scattered across the footprint (as
+    /// hash-distributed keys are in a real key-value store).
+    fn zipf_page(&mut self) -> u64 {
+        let n = self.zipf_pages as f64;
+        let s = self.zipf_exp; // 1 - theta
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let rank = ((n.powf(s) - 1.0) * u + 1.0).powf(1.0 / s) - 1.0;
+        let rank = (rank as u64).min(self.zipf_pages - 1);
+        // Multiplicative scramble (bijective modulo 2^64, then reduced).
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.zipf_pages
+    }
+
+    fn next_offset(&mut self) -> u64 {
+        match self.pattern {
+            AccessPattern::UniformRandom => self.rng.gen_range(0..self.len),
+            AccessPattern::PointerChase { locality } => {
+                if self.rng.gen_bool(locality) {
+                    // Near jump: within ±64 KB.
+                    let delta = self.rng.gen_range(0..131_072u64);
+                    self.cursor = (self.cursor + self.len + delta - 65_536) % self.len;
+                } else {
+                    self.cursor = self.rng.gen_range(0..self.len);
+                }
+                self.cursor
+            }
+            AccessPattern::Zipf { .. } => {
+                let page = self.zipf_page();
+                page * PAGE_SIZE_4K + self.rng.gen_range(0..PAGE_SIZE_4K)
+            }
+            AccessPattern::Streaming { stride } => {
+                self.cursor = (self.cursor + stride) % self.len;
+                self.cursor
+            }
+            AccessPattern::GraphTraversal { avg_degree } => {
+                if self.burst_left == 0 {
+                    // Jump to a random vertex's adjacency list.
+                    self.cursor = self.rng.gen_range(0..self.len);
+                    self.burst_left = 1 + self.rng.gen_range(0..avg_degree * 2);
+                }
+                self.burst_left -= 1;
+                self.cursor = (self.cursor + 64) % self.len;
+                self.cursor
+            }
+            AccessPattern::Stencil { row_bytes } => {
+                // Sweep forward; every third access reads the previous row.
+                self.cursor = (self.cursor + 8) % self.len;
+                if self.cursor % 24 == 0 && self.cursor >= row_bytes {
+                    self.cursor - row_bytes
+                } else {
+                    self.cursor
+                }
+            }
+            AccessPattern::CoalescedStreams { .. } => {
+                const TILE: u64 = 2 << 20; // one superpage per stream
+                let n = self.streams.len() as u64;
+                self.stream_idx = (self.stream_idx + 1) % self.streams.len();
+                if self.stream_idx == 0 {
+                    // One access per stream per round; advance the offset
+                    // within the tile, moving to the next tile group when
+                    // the tiles are consumed.
+                    self.cursor += 128;
+                    if self.cursor >= TILE {
+                        self.cursor = 0;
+                        self.burst_left = self.burst_left.wrapping_add(1); // tile group
+                    }
+                }
+                let group = u64::from(self.burst_left);
+                let tile = (group * n + self.stream_idx as u64) * TILE;
+                (tile + self.cursor) % self.len
+            }
+            AccessPattern::LoopedStream { window_bytes, stride } => {
+                let window = window_bytes.min(self.len).max(stride);
+                self.cursor = (self.cursor + stride) % window;
+                self.cursor
+            }
+            AccessPattern::ScanPoint { scan_fraction } => {
+                if self.rng.gen_bool(scan_fraction) {
+                    self.cursor = (self.cursor + 64) % self.len;
+                    self.cursor
+                } else {
+                    let page = self.zipf_page();
+                    page * PAGE_SIZE_4K + self.rng.gen_range(0..PAGE_SIZE_4K)
+                }
+            }
+        }
+    }
+
+    fn next_pc(&mut self) -> u64 {
+        // A small loop of instruction addresses, with occasional transfers
+        // to a different "function" — enough structure for a PC-indexed
+        // predictor to latch onto.
+        let slot = self.rng.gen_range(0..self.pc_count);
+        self.pc_base + slot * 4
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        let offset = self.next_offset();
+        let kind = if self.rng.gen_bool(self.store_fraction) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let pc = self.next_pc();
+        Some(TraceEvent {
+            pc,
+            va: VirtAddr::new(self.base + offset),
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::WorkloadSpec;
+    use std::collections::HashSet;
+
+    fn events(name: &str, seed: u64, n: usize) -> Vec<TraceEvent> {
+        let spec = WorkloadSpec::by_name(name).unwrap().with_footprint(64 << 20);
+        TraceGenerator::new(&spec, seed, Vpn::new(0x10_0000))
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn all_patterns_stay_in_bounds() {
+        for w in WorkloadSpec::catalog() {
+            let spec = w.clone().with_footprint(32 << 20);
+            let base = 0x10_0000u64 * 4096;
+            let len = spec.footprint_bytes;
+            for e in TraceGenerator::new(&spec, 1, Vpn::new(0x10_0000)).take(5_000) {
+                assert!(
+                    e.va.raw() >= base && e.va.raw() < base + len,
+                    "{} strayed to {}",
+                    w.name,
+                    e.va
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(events("gups", 7, 500), events("gups", 7, 500));
+        assert_ne!(events("gups", 7, 500), events("gups", 8, 500));
+    }
+
+    #[test]
+    fn gups_spreads_over_many_pages() {
+        let pages: HashSet<u64> = events("gups", 1, 10_000)
+            .iter()
+            .map(|e| e.va.vpn().raw())
+            .collect();
+        assert!(pages.len() > 5_000, "only {} distinct pages", pages.len());
+    }
+
+    #[test]
+    fn streaming_touches_pages_in_order() {
+        let evs = events("streamcluster", 1, 1_000);
+        let mut last = 0;
+        let mut wraps = 0;
+        for e in &evs {
+            let page = e.va.vpn().raw();
+            if page < last {
+                wraps += 1;
+            }
+            last = page;
+        }
+        assert!(wraps <= 1, "streaming should be monotone modulo one wrap");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_pages() {
+        let evs = events("memcached", 1, 20_000);
+        let mut counts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for e in &evs {
+            *counts.entry(e.va.vpn().raw()).or_default() += 1;
+        }
+        let mut freq: Vec<u32> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top16: u32 = freq.iter().take(16).sum();
+        assert!(
+            top16 as f64 > 0.10 * evs.len() as f64,
+            "no hot set: top 16 pages got {top16} of {}",
+            evs.len()
+        );
+    }
+
+    #[test]
+    fn pointer_chase_mixes_near_and_far() {
+        let evs = events("mcf", 1, 10_000);
+        let mut near = 0;
+        let mut far = 0;
+        for pair in evs.windows(2) {
+            let d = pair[1].va.raw().abs_diff(pair[0].va.raw());
+            if d <= 131_072 {
+                near += 1;
+            } else {
+                far += 1;
+            }
+        }
+        assert!(near > 1_000, "near jumps missing: {near}");
+        assert!(far > 1_000, "far jumps missing: {far}");
+    }
+
+    #[test]
+    fn store_fractions_are_respected() {
+        let evs = events("gups", 1, 20_000);
+        let stores = evs.iter().filter(|e| e.kind.is_store()).count();
+        let frac = stores as f64 / evs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "store fraction {frac}");
+    }
+
+    #[test]
+    fn pcs_form_a_small_set() {
+        let pcs: HashSet<u64> = events("memcached", 1, 5_000).iter().map(|e| e.pc).collect();
+        assert!(pcs.len() <= 32);
+        assert!(pcs.len() > 4);
+    }
+
+    #[test]
+    fn coalesced_streams_interleave_partitions() {
+        let evs = events("backprop", 1, 4_096);
+        let quarter = (24u64 << 20) / 4; // footprint scaled to 64 MB below? use observed spread
+        let _ = quarter;
+        let distinct_mb: HashSet<u64> = evs.iter().map(|e| e.va.raw() >> 22).collect();
+        assert!(distinct_mb.len() >= 8, "streams not spread: {}", distinct_mb.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Virtual and physical addresses.
+
+use std::fmt;
+use std::ops::Add;
+
+use crate::page::{PageSize, Pfn, Vpn, PAGE_SHIFT};
+
+/// Number of virtual-address bits modeled (x86-64 canonical lower half).
+pub(crate) const VA_BITS: u32 = 48;
+
+macro_rules! address {
+    ($(#[$doc:meta])* $name:ident, $page:ident, $page_method:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw byte address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Builds an address from a 4 KB page number and a byte offset
+            /// within the 4 KB page.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `offset >= 4096`.
+            #[inline]
+            pub fn from_page(page: $page, offset: u64) -> Self {
+                assert!(offset < (1 << PAGE_SHIFT), "offset {offset} exceeds a 4 KB page");
+                Self((page.raw() << PAGE_SHIFT) | offset)
+            }
+
+            /// The raw byte address.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The 4 KB-granular page number of this address.
+            #[inline]
+            pub const fn $page_method(self) -> $page {
+                $page::new(self.0 >> PAGE_SHIFT)
+            }
+
+            /// Byte offset within the containing page of the given size.
+            #[inline]
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// Byte offset within the containing 64-byte cache line.
+            #[inline]
+            pub const fn cache_line_offset(self) -> u64 {
+                self.0 & 63
+            }
+
+            /// The address of the start of the containing 64-byte cache line.
+            #[inline]
+            pub const fn cache_line_base(self) -> Self {
+                Self(self.0 & !63)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+    };
+}
+
+address! {
+    /// A virtual byte address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mixtlb_types::{PageSize, VirtAddr};
+    ///
+    /// // The paper's superpage B sits at virtual 4 KB frame 0x400.
+    /// let b0 = VirtAddr::new(0x0040_0000);
+    /// assert_eq!(b0.vpn().raw(), 0x400);
+    /// assert_eq!(b0.page_offset(PageSize::Size2M), 0);
+    /// ```
+    VirtAddr, Vpn, vpn
+}
+
+address! {
+    /// A physical byte address.
+    PhysAddr, Pfn, pfn
+}
+
+impl VirtAddr {
+    /// Returns `true` if the address fits in the modeled 48-bit space.
+    #[inline]
+    pub const fn is_canonical(self) -> bool {
+        self.0 < (1u64 << VA_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_decomposition() {
+        let va = VirtAddr::new(0x0040_0123);
+        assert_eq!(va.vpn(), Vpn::new(0x400));
+        assert_eq!(va.page_offset(PageSize::Size4K), 0x123);
+        assert_eq!(va.page_offset(PageSize::Size2M), 0x123);
+        let va2 = VirtAddr::new(0x0047_3123);
+        assert_eq!(va2.page_offset(PageSize::Size2M), 0x7_3123);
+    }
+
+    #[test]
+    fn from_page_roundtrip() {
+        let va = VirtAddr::from_page(Vpn::new(0x400), 0x42);
+        assert_eq!(va.raw(), 0x0040_0042);
+        assert_eq!(va.vpn(), Vpn::new(0x400));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds a 4 KB page")]
+    fn from_page_rejects_large_offsets() {
+        let _ = PhysAddr::from_page(Pfn::new(1), 4096);
+    }
+
+    #[test]
+    fn cache_line_geometry() {
+        let pa = PhysAddr::new(0x1000 + 72);
+        assert_eq!(pa.cache_line_offset(), 8);
+        assert_eq!(pa.cache_line_base(), PhysAddr::new(0x1040));
+    }
+
+    #[test]
+    fn canonical_check() {
+        assert!(VirtAddr::new(0xFFFF_FFFF_FFFF).is_canonical());
+        assert!(!VirtAddr::new(1 << 48).is_canonical());
+    }
+
+    #[test]
+    fn addition() {
+        assert_eq!(PhysAddr::new(8) + 8, PhysAddr::new(16));
+    }
+}

@@ -1,0 +1,293 @@
+//! Page sizes and 4 KB-granular page/frame numbers.
+
+use std::fmt;
+
+/// Log2 of the base (small) page size: 4 KB.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// The base (small) page size in bytes: 4 KB.
+pub const PAGE_SIZE_4K: u64 = 1 << PAGE_SHIFT;
+
+/// An x86-64 page size.
+///
+/// The simulator supports the three sizes of the x86-64 architecture, which
+/// the paper's 2-bit page-size field distinguishes (Figure 5).
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_types::PageSize;
+///
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size1G.pages_4k(), 262_144);
+/// assert!(PageSize::Size4K < PageSize::Size2M);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KB base page.
+    Size4K,
+    /// 2 MB superpage (x86-64 PD-level leaf).
+    Size2M,
+    /// 1 GB superpage (x86-64 PDPT-level leaf).
+    Size1G,
+}
+
+impl PageSize {
+    /// All supported page sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// Log2 of the page size in bytes (12, 21, or 30).
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// Number of constituent 4 KB pages (the paper's `N`): 1, 512, or 262,144.
+    #[inline]
+    pub const fn pages_4k(self) -> u64 {
+        1 << (self.shift() - PAGE_SHIFT)
+    }
+
+    /// Returns `true` for 2 MB and 1 GB pages.
+    #[inline]
+    pub const fn is_superpage(self) -> bool {
+        !matches!(self, PageSize::Size4K)
+    }
+
+    /// Encodes the size as the paper's 2-bit TLB entry field.
+    #[inline]
+    pub const fn encode(self) -> u8 {
+        match self {
+            PageSize::Size4K => 0b00,
+            PageSize::Size2M => 0b01,
+            PageSize::Size1G => 0b10,
+        }
+    }
+
+    /// Decodes a 2-bit page-size field. Returns `None` for the reserved
+    /// encoding `0b11`.
+    #[inline]
+    pub const fn decode(bits: u8) -> Option<PageSize> {
+        match bits {
+            0b00 => Some(PageSize::Size4K),
+            0b01 => Some(PageSize::Size2M),
+            0b10 => Some(PageSize::Size1G),
+            _ => None,
+        }
+    }
+
+    /// Page size mapped at a given radix page-table level, if that level can
+    /// hold a leaf (level 0 = PT → 4 KB, level 1 = PD → 2 MB,
+    /// level 2 = PDPT → 1 GB, level 3 = PML4 → no leaf).
+    #[inline]
+    pub const fn from_level(level: u8) -> Option<PageSize> {
+        match level {
+            0 => Some(PageSize::Size4K),
+            1 => Some(PageSize::Size2M),
+            2 => Some(PageSize::Size1G),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4KB"),
+            PageSize::Size2M => write!(f, "2MB"),
+            PageSize::Size1G => write!(f, "1GB"),
+        }
+    }
+}
+
+macro_rules! page_number {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 4 KB-granular page number.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw 4 KB-granular page number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Aligns this page number down to the base of the page of the
+            /// given size that contains it.
+            ///
+            /// ```
+            /// # use mixtlb_types::{PageSize, Vpn};
+            /// let v = Vpn::new(0x400 + 37);
+            /// assert_eq!(v.align_down(PageSize::Size2M), Vpn::new(0x400));
+            /// ```
+            #[inline]
+            pub const fn align_down(self, size: PageSize) -> Self {
+                Self(self.0 & !(size.pages_4k() - 1))
+            }
+
+            /// Returns `true` if this page number is aligned to the given
+            /// page size.
+            #[inline]
+            pub const fn is_aligned(self, size: PageSize) -> bool {
+                self.0 & (size.pages_4k() - 1) == 0
+            }
+
+            /// Offset in 4 KB pages from the base of the containing page of
+            /// the given size (the paper's *mirror ID* for superpages).
+            #[inline]
+            pub const fn offset_within(self, size: PageSize) -> u64 {
+                self.0 & (size.pages_4k() - 1)
+            }
+
+            /// This page number advanced by `n` 4 KB pages.
+            #[inline]
+            pub const fn add_4k(self, n: u64) -> Self {
+                Self(self.0 + n)
+            }
+
+            /// Checked subtraction, in 4 KB pages.
+            #[inline]
+            pub fn checked_sub(self, other: Self) -> Option<u64> {
+                self.0.checked_sub(other.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(v: $name) -> u64 {
+                v.0
+            }
+        }
+    };
+}
+
+page_number! {
+    /// A 4 KB-granular **virtual** page number.
+    ///
+    /// Superpages are identified by their (aligned) base VPN; use
+    /// [`Vpn::align_down`] and [`Vpn::offset_within`] to navigate inside a
+    /// superpage.
+    Vpn
+}
+
+page_number! {
+    /// A 4 KB-granular **physical** frame number.
+    Pfn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_x86_64() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Size1G.bytes(), 1024 * 1024 * 1024);
+        assert_eq!(PageSize::Size4K.pages_4k(), 1);
+        assert_eq!(PageSize::Size2M.pages_4k(), 512);
+        assert_eq!(PageSize::Size1G.pages_4k(), 262_144);
+    }
+
+    #[test]
+    fn size_ordering_is_by_magnitude() {
+        assert!(PageSize::Size4K < PageSize::Size2M);
+        assert!(PageSize::Size2M < PageSize::Size1G);
+        let mut v = vec![PageSize::Size1G, PageSize::Size4K, PageSize::Size2M];
+        v.sort();
+        assert_eq!(v, PageSize::ALL.to_vec());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for size in PageSize::ALL {
+            assert_eq!(PageSize::decode(size.encode()), Some(size));
+        }
+        assert_eq!(PageSize::decode(0b11), None);
+    }
+
+    #[test]
+    fn level_mapping() {
+        assert_eq!(PageSize::from_level(0), Some(PageSize::Size4K));
+        assert_eq!(PageSize::from_level(1), Some(PageSize::Size2M));
+        assert_eq!(PageSize::from_level(2), Some(PageSize::Size1G));
+        assert_eq!(PageSize::from_level(3), None);
+    }
+
+    #[test]
+    fn vpn_alignment() {
+        let v = Vpn::new(0x400 + 511);
+        assert_eq!(v.align_down(PageSize::Size2M), Vpn::new(0x400));
+        assert_eq!(v.offset_within(PageSize::Size2M), 511);
+        assert!(Vpn::new(0x400).is_aligned(PageSize::Size2M));
+        assert!(!Vpn::new(0x401).is_aligned(PageSize::Size2M));
+        assert!(Vpn::new(0).is_aligned(PageSize::Size1G));
+    }
+
+    #[test]
+    fn vpn_arithmetic() {
+        let v = Vpn::new(10);
+        assert_eq!(v.add_4k(5), Vpn::new(15));
+        assert_eq!(Vpn::new(15).checked_sub(v), Some(5));
+        assert_eq!(v.checked_sub(Vpn::new(15)), None);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Vpn::new(0x400).to_string(), "0x400");
+        assert_eq!(format!("{:x}", Pfn::new(0xBEEF)), "beef");
+        assert_eq!(format!("{:b}", Pfn::new(0b101)), "101");
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let v: Vpn = 7u64.into();
+        assert_eq!(u64::from(v), 7);
+    }
+}

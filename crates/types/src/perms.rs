@@ -1,0 +1,182 @@
+//! Page permissions and access kinds.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// Page access permissions, as stored in page-table entries and TLB entries.
+///
+/// Implemented as a compact flag set (read / write / execute / user). The
+/// paper's MIX TLBs only coalesce superpages whose permission bits are
+/// identical (Sec. 4.4), so `Permissions` is `Eq` and cheap to compare.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_types::{AccessKind, Permissions};
+///
+/// let rw = Permissions::READ | Permissions::WRITE;
+/// assert!(rw.allows(AccessKind::Store));
+/// assert!(!Permissions::READ.allows(AccessKind::Store));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Permissions(u8);
+
+impl Permissions {
+    /// No access.
+    pub const NONE: Permissions = Permissions(0);
+    /// Readable.
+    pub const READ: Permissions = Permissions(1 << 0);
+    /// Writable.
+    pub const WRITE: Permissions = Permissions(1 << 1);
+    /// Executable.
+    pub const EXEC: Permissions = Permissions(1 << 2);
+    /// User-mode accessible.
+    pub const USER: Permissions = Permissions(1 << 3);
+
+    /// The common case for anonymous data pages: readable, writable,
+    /// user-accessible.
+    pub const fn rw_user() -> Permissions {
+        Permissions(Self::READ.0 | Self::WRITE.0 | Self::USER.0)
+    }
+
+    /// Read-only user mapping (e.g. text or file-backed pages).
+    pub const fn ro_user() -> Permissions {
+        Permissions(Self::READ.0 | Self::USER.0)
+    }
+
+    /// Returns `true` if every flag in `other` is also set in `self`.
+    #[inline]
+    pub const fn contains(self, other: Permissions) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if this permission set allows the given access.
+    #[inline]
+    pub const fn allows(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Load => self.contains(Permissions::READ),
+            AccessKind::Store => self.contains(Permissions::WRITE),
+            AccessKind::Fetch => self.contains(Permissions::EXEC),
+        }
+    }
+
+    /// The raw flag bits.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs permissions from raw bits, masking unknown flags.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Permissions {
+        Permissions(bits & 0b1111)
+    }
+}
+
+impl BitOr for Permissions {
+    type Output = Permissions;
+
+    fn bitor(self, rhs: Permissions) -> Permissions {
+        Permissions(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Permissions {
+    type Output = Permissions;
+
+    fn bitand(self, rhs: Permissions) -> Permissions {
+        Permissions(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Permissions({}{}{}{})",
+            if self.contains(Self::READ) { "r" } else { "-" },
+            if self.contains(Self::WRITE) { "w" } else { "-" },
+            if self.contains(Self::EXEC) { "x" } else { "-" },
+            if self.contains(Self::USER) { "u" } else { "-" },
+        )
+    }
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.contains(Self::READ) { "r" } else { "-" },
+            if self.contains(Self::WRITE) { "w" } else { "-" },
+            if self.contains(Self::EXEC) { "x" } else { "-" },
+            if self.contains(Self::USER) { "u" } else { "-" },
+        )
+    }
+}
+
+/// The kind of memory access driving a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store. Stores interact with the dirty-bit policy (Sec. 4.4).
+    Store,
+    /// An instruction fetch.
+    Fetch,
+}
+
+impl AccessKind {
+    /// Returns `true` for stores.
+    #[inline]
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+            AccessKind::Fetch => write!(f, "fetch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_composition() {
+        let p = Permissions::READ | Permissions::WRITE;
+        assert!(p.contains(Permissions::READ));
+        assert!(p.contains(Permissions::WRITE));
+        assert!(!p.contains(Permissions::EXEC));
+        assert_eq!(p & Permissions::READ, Permissions::READ);
+    }
+
+    #[test]
+    fn access_checks() {
+        assert!(Permissions::rw_user().allows(AccessKind::Load));
+        assert!(Permissions::rw_user().allows(AccessKind::Store));
+        assert!(!Permissions::rw_user().allows(AccessKind::Fetch));
+        assert!(!Permissions::ro_user().allows(AccessKind::Store));
+        assert!((Permissions::READ | Permissions::EXEC).allows(AccessKind::Fetch));
+    }
+
+    #[test]
+    fn bits_roundtrip_and_masking() {
+        let p = Permissions::rw_user();
+        assert_eq!(Permissions::from_bits(p.bits()), p);
+        assert_eq!(Permissions::from_bits(0xF0), Permissions::NONE);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(Permissions::rw_user().to_string(), "rw-u");
+        assert_eq!(format!("{:?}", Permissions::READ), "Permissions(r---)");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

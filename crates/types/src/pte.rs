@@ -1,0 +1,211 @@
+//! Translation summaries: the information a page-table walk hands to a TLB.
+
+use std::fmt;
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::page::{PageSize, Pfn, Vpn, PAGE_SHIFT};
+use crate::perms::Permissions;
+
+/// A complete virtual-to-physical mapping for one page, as produced by a
+/// page-table walk and consumed by TLB fills.
+///
+/// `vpn` and `pfn` are the (page-size-aligned) 4 KB-granular base page/frame
+/// numbers of the mapping.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_types::{PageSize, Permissions, Pfn, Translation, VirtAddr, Vpn};
+///
+/// // The paper's 2 MB superpage B: virtual frame 0x400 → physical frame 0x0.
+/// let b = Translation::new(
+///     Vpn::new(0x400),
+///     Pfn::new(0x0),
+///     PageSize::Size2M,
+///     Permissions::rw_user(),
+/// );
+/// let pa = b.translate(VirtAddr::new(0x0047_3123)).unwrap();
+/// assert_eq!(pa.raw(), 0x0007_3123);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Translation {
+    /// Base virtual page number (aligned to `size`).
+    pub vpn: Vpn,
+    /// Base physical frame number (aligned to `size`).
+    pub pfn: Pfn,
+    /// Page size of the mapping.
+    pub size: PageSize,
+    /// Access permissions.
+    pub perms: Permissions,
+    /// Hardware-maintained accessed bit. x86 mandates that only accessed
+    /// translations are cached in TLBs (Sec. 4.4).
+    pub accessed: bool,
+    /// Hardware-maintained dirty bit.
+    pub dirty: bool,
+}
+
+impl Translation {
+    /// Creates a new accessed, clean translation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` or `pfn` is not aligned to `size` — misaligned
+    /// mappings are architecturally impossible and always indicate a
+    /// simulator bug.
+    pub fn new(vpn: Vpn, pfn: Pfn, size: PageSize, perms: Permissions) -> Translation {
+        assert!(vpn.is_aligned(size), "vpn {vpn} not aligned to {size}");
+        assert!(pfn.is_aligned(size), "pfn {pfn} not aligned to {size}");
+        Translation {
+            vpn,
+            pfn,
+            size,
+            perms,
+            accessed: true,
+            dirty: false,
+        }
+    }
+
+    /// Returns `true` if this mapping covers the given 4 KB virtual page.
+    #[inline]
+    pub fn covers(&self, vpn: Vpn) -> bool {
+        vpn.align_down(self.size) == self.vpn
+    }
+
+    /// Translates a full virtual address through this mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslationError::OutOfRange`] if the address is not inside
+    /// this mapping.
+    pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, TranslationError> {
+        if !self.covers(va.vpn()) {
+            return Err(TranslationError::OutOfRange);
+        }
+        let delta = va.vpn().offset_within(self.size);
+        Ok(PhysAddr::new(
+            ((self.pfn.raw() + delta) << PAGE_SHIFT) | va.page_offset(PageSize::Size4K),
+        ))
+    }
+
+    /// The physical frame backing a specific 4 KB virtual page inside this
+    /// mapping, or `None` if the page is outside the mapping.
+    pub fn frame_for(&self, vpn: Vpn) -> Option<Pfn> {
+        if !self.covers(vpn) {
+            return None;
+        }
+        Some(self.pfn.add_4k(vpn.offset_within(self.size)))
+    }
+
+    /// Returns `true` if `other` is the translation for the superpage
+    /// immediately following this one, physically adjacent and coalescible
+    /// under the paper's rules (same size, same permissions, accessed).
+    ///
+    /// This is the contiguity test the MIX TLB's fill-time coalescing logic
+    /// applies to neighbouring PTEs in a page-table cache line.
+    pub fn is_coalescible_successor(&self, other: &Translation) -> bool {
+        self.size == other.size
+            && self.perms == other.perms
+            && other.accessed
+            && other.vpn.raw() == self.vpn.raw() + self.size.pages_4k()
+            && other.pfn.raw() == self.pfn.raw() + self.size.pages_4k()
+    }
+}
+
+/// Errors produced when using a [`Translation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationError {
+    /// The virtual address is not covered by the mapping.
+    OutOfRange,
+}
+
+impl fmt::Display for TranslationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslationError::OutOfRange => {
+                write!(f, "virtual address is outside the mapping")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(vpn: u64, pfn: u64) -> Translation {
+        Translation::new(
+            Vpn::new(vpn),
+            Pfn::new(pfn),
+            PageSize::Size2M,
+            Permissions::rw_user(),
+        )
+    }
+
+    #[test]
+    fn covers_respects_size() {
+        let b = sp(0x400, 0x0);
+        assert!(b.covers(Vpn::new(0x400)));
+        assert!(b.covers(Vpn::new(0x400 + 511)));
+        assert!(!b.covers(Vpn::new(0x400 + 512)));
+        assert!(!b.covers(Vpn::new(0x3FF)));
+    }
+
+    #[test]
+    fn translate_paper_example() {
+        // Figure 2: B maps virtual 0x00400000 to physical 0x00000000.
+        let b = sp(0x400, 0x0);
+        let pa = b.translate(VirtAddr::new(0x0040_0000)).unwrap();
+        assert_eq!(pa, PhysAddr::new(0));
+        // B's 4 KB region number 0x73 with byte offset 0x123.
+        let pa = b.translate(VirtAddr::new(0x0047_3123)).unwrap();
+        assert_eq!(pa, PhysAddr::new(0x0007_3123));
+        assert_eq!(
+            b.translate(VirtAddr::new(0x0060_0000)),
+            Err(TranslationError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn frame_for_interior_pages() {
+        let b = sp(0x400, 0x800);
+        assert_eq!(b.frame_for(Vpn::new(0x400)), Some(Pfn::new(0x800)));
+        assert_eq!(b.frame_for(Vpn::new(0x4FF)), Some(Pfn::new(0x8FF)));
+        assert_eq!(b.frame_for(Vpn::new(0x600)), None);
+    }
+
+    #[test]
+    fn coalescible_successor_matches_paper_figure_2() {
+        // B at virtual 0x400 / physical 0x0; C at virtual 0x600 / physical 0x200.
+        let b = sp(0x400, 0x0);
+        let c = sp(0x600, 0x200);
+        assert!(b.is_coalescible_successor(&c));
+        // Not virtually adjacent.
+        assert!(!b.is_coalescible_successor(&sp(0x800, 0x200)));
+        // Not physically adjacent.
+        assert!(!b.is_coalescible_successor(&sp(0x600, 0x400)));
+        // Different permissions are never coalesced (Sec. 4.4).
+        let mut c2 = c;
+        c2.perms = Permissions::ro_user();
+        assert!(!b.is_coalescible_successor(&c2));
+        // Unaccessed translations may not be cached, hence not coalesced.
+        let mut c3 = c;
+        c3.accessed = false;
+        assert!(!b.is_coalescible_successor(&c3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_mapping_panics() {
+        let _ = sp(0x401, 0x0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            TranslationError::OutOfRange.to_string(),
+            "virtual address is outside the mapping"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the address/page primitives.
+
+use mixtlb_types::{PageSize, Permissions, Pfn, Translation, VirtAddr, Vpn};
+use proptest::prelude::*;
+
+fn size_strategy() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        Just(PageSize::Size4K),
+        Just(PageSize::Size2M),
+        Just(PageSize::Size1G)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn address_page_offset_roundtrip(raw in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(raw);
+        prop_assert!(va.is_canonical());
+        prop_assert_eq!(
+            va.vpn().raw() * 4096 + va.page_offset(PageSize::Size4K),
+            raw
+        );
+        prop_assert_eq!(
+            VirtAddr::from_page(va.vpn(), va.page_offset(PageSize::Size4K)),
+            va
+        );
+        // Page offsets nest: the 4 KB offset is the low part of every
+        // larger page offset.
+        for size in [PageSize::Size2M, PageSize::Size1G] {
+            prop_assert_eq!(
+                va.page_offset(size) % 4096,
+                va.page_offset(PageSize::Size4K)
+            );
+        }
+    }
+
+    #[test]
+    fn alignment_laws(vpn in 0u64..(1 << 36), size in size_strategy()) {
+        let v = Vpn::new(vpn);
+        let base = v.align_down(size);
+        prop_assert!(base.is_aligned(size));
+        prop_assert!(base <= v);
+        prop_assert!(v.raw() - base.raw() < size.pages_4k());
+        prop_assert_eq!(base.add_4k(v.offset_within(size)), v);
+        // Idempotent.
+        prop_assert_eq!(base.align_down(size), base);
+    }
+
+    #[test]
+    fn translation_covers_exactly_its_extent(
+        slot in 0u64..64,
+        size in size_strategy(),
+        probe in 0u64..(1 << 20),
+    ) {
+        let vpn = Vpn::new(slot << 18);
+        let pfn = Pfn::new((slot + 64) << 18);
+        let t = Translation::new(vpn, pfn, size, Permissions::rw_user());
+        let p = Vpn::new((slot << 18) + probe);
+        prop_assert_eq!(t.covers(p), probe < size.pages_4k());
+        match t.frame_for(p) {
+            Some(f) => {
+                prop_assert!(t.covers(p));
+                prop_assert_eq!(f.raw() - t.pfn.raw(), p.raw() - t.vpn.raw());
+            }
+            None => prop_assert!(!t.covers(p)),
+        }
+    }
+
+    #[test]
+    fn translate_preserves_page_offsets(
+        slot in 0u64..64,
+        size in size_strategy(),
+        offset in 0u64..(1u64 << 30),
+    ) {
+        let t = Translation::new(
+            Vpn::new(slot << 18),
+            Pfn::new((slot + 64) << 18),
+            size,
+            Permissions::rw_user(),
+        );
+        let offset = offset % size.bytes();
+        let va = VirtAddr::new((slot << 30) + offset);
+        let pa = t.translate(va).expect("offset within the page");
+        prop_assert_eq!(pa.page_offset(size), va.page_offset(size));
+        prop_assert_eq!(pa.raw() - ((slot + 64) << 30), offset);
+    }
+
+    #[test]
+    fn coalescible_successor_is_exactly_adjacency(
+        slot in 0u64..32,
+        gap_v in 0u64..4,
+        gap_p in 0u64..4,
+        dirty in any::<bool>(),
+    ) {
+        let size = PageSize::Size2M;
+        let a = Translation::new(
+            Vpn::new(slot << 18),
+            Pfn::new((slot + 40) << 18),
+            size,
+            Permissions::rw_user(),
+        );
+        let mut b = Translation::new(
+            a.vpn.add_4k(512 * (1 + gap_v)),
+            a.pfn.add_4k(512 * (1 + gap_p)),
+            size,
+            Permissions::rw_user(),
+        );
+        b.dirty = dirty;
+        prop_assert_eq!(
+            a.is_coalescible_successor(&b),
+            gap_v == 0 && gap_p == 0,
+            "adjacency must be both virtual and physical"
+        );
+    }
+
+    #[test]
+    fn permission_bits_roundtrip(bits in 0u8..16) {
+        let p = Permissions::from_bits(bits);
+        prop_assert_eq!(p.bits(), bits);
+        prop_assert_eq!(Permissions::from_bits(p.bits()), p);
+        // contains is reflexive and NONE is bottom.
+        prop_assert!(p.contains(p));
+        prop_assert!(p.contains(Permissions::NONE));
+    }
+}
