@@ -315,6 +315,16 @@ impl TlbDevice for CoalescedSizeTlb {
         self.tick = 0;
     }
 
+    fn invalidate_sets(&self, _vpn: Vpn, size: PageSize) -> u64 {
+        // Bundle indexing still puts the page in exactly one set; sizes this
+        // array does not cache cost nothing.
+        u64::from(size == self.config.size)
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.sets * self.config.ways
+    }
+
     fn stats(&self) -> TlbStats {
         self.stats
     }
@@ -417,6 +427,14 @@ impl TlbDevice for HeteroSplitTlb {
         for part in &mut self.parts {
             part.flush();
         }
+    }
+
+    fn invalidate_sets(&self, vpn: Vpn, size: PageSize) -> u64 {
+        self.parts.iter().map(|p| p.invalidate_sets(vpn, size)).sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.parts.iter().map(|p| p.capacity()).sum()
     }
 
     fn stats(&self) -> TlbStats {

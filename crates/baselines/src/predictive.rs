@@ -88,6 +88,16 @@ macro_rules! predictive_tlb {
                 self.inner.flush();
             }
 
+            fn invalidate_sets(&self, vpn: Vpn, size: PageSize) -> u64 {
+                // The predictor plays no part in shootdowns; the inner
+                // array's sweep cost is the whole cost.
+                self.inner.invalidate_sets(vpn, size)
+            }
+
+            fn capacity(&self) -> usize {
+                self.inner.capacity()
+            }
+
             fn stats(&self) -> TlbStats {
                 let mut stats = self.inner.stats();
                 let (reads, _, miss) = self.predictor.stats();

@@ -255,6 +255,17 @@ impl TlbDevice for SkewTlb {
         }
     }
 
+    fn invalidate_sets(&self, _vpn: Vpn, _size: PageSize) -> u64 {
+        // The skew hashes pinpoint one candidate slot per way of the page's
+        // size; all ways are probed in parallel, so the sweep is one "set"
+        // wide, like a conventional design.
+        1
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.total_entries()
+    }
+
     fn stats(&self) -> TlbStats {
         self.stats
     }

@@ -5,7 +5,7 @@
 //! right are better.
 
 use mixtlb_bench::{banner, signed_pct, Scale, Table};
-use mixtlb_sim::{designs, improvement_percent, NativeScenario, PerfReport, PolicyChoice, TlbHierarchy};
+use mixtlb_sim::{designs, improvement_percent, NativeScenario, PerfReport, PolicyChoice};
 
 fn main() {
     let scale = Scale::from_env();
@@ -15,7 +15,7 @@ fn main() {
         scale,
     );
     let refs = scale.refs();
-    let contenders: [(&str, fn() -> TlbHierarchy); 3] = [
+    let contenders: [(&str, designs::DesignFactory); 3] = [
         ("skew+pred", designs::skew_pred),
         ("hr+pred", designs::hash_rehash_pred),
         ("mix", designs::mix),

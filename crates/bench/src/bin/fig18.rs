@@ -4,7 +4,7 @@
 
 use mixtlb_bench::{banner, signed_pct, Scale, Table};
 use mixtlb_sim::{
-    designs, improvement_percent, NativeScenario, PolicyChoice, TlbHierarchy, VirtScenario,
+    designs, improvement_percent, NativeScenario, PolicyChoice, VirtScenario,
 };
 use mixtlb_trace::WorkloadClass;
 
@@ -16,7 +16,7 @@ fn main() {
         scale,
     );
     let refs = scale.refs();
-    let contenders: [(&str, fn() -> TlbHierarchy); 4] = [
+    let contenders: [(&str, designs::DesignFactory); 4] = [
         ("colt", designs::colt),
         ("colt++", designs::colt_plus_plus),
         ("mix", designs::mix),

@@ -99,7 +99,7 @@ impl CacheLevel {
         let tag = line / self.sets;
         let ways = self.config.ways as usize;
         let base = set * ways;
-        self.tags[base..base + ways].iter().any(|&t| t == tag)
+        self.tags[base..base + ways].contains(&tag)
     }
 
     /// `(hits, misses)` so far.
@@ -174,11 +174,11 @@ mod tests {
     fn lru_evicts_least_recent() {
         let mut c = tiny();
         // Three lines mapping to set 0 (line % 2 == 0): lines 0, 2, 4.
-        c.access(PhysAddr::new(0 * 64));
+        c.access(PhysAddr::new(0));
         c.access(PhysAddr::new(2 * 64));
-        c.access(PhysAddr::new(0 * 64)); // refresh line 0
+        c.access(PhysAddr::new(0)); // refresh line 0
         c.access(PhysAddr::new(4 * 64)); // evicts line 2
-        assert!(c.probe(PhysAddr::new(0 * 64)));
+        assert!(c.probe(PhysAddr::new(0)));
         assert!(!c.probe(PhysAddr::new(2 * 64)));
         assert!(c.probe(PhysAddr::new(4 * 64)));
     }

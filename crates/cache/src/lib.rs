@@ -27,7 +27,9 @@
 mod hierarchy;
 mod level;
 mod pwc;
+mod shared;
 
 pub use hierarchy::{AccessResult, CacheHierarchy, HierarchyConfig, HierarchyStats};
 pub use level::{CacheConfig, CacheLevel};
 pub use pwc::PageWalkCache;
+pub use shared::{SharedAccess, SharedCache, SharedCacheConfig, SharedCacheStats};

@@ -1,6 +1,6 @@
 //! The interface every TLB design implements.
 
-use mixtlb_types::{AccessKind, PageSize, Translation, Vpn};
+use mixtlb_types::{AccessKind, Asid, PageSize, Translation, Vpn};
 
 /// A maximal run of contiguous same-size translations that a coalescing
 /// TLB entry knows about around a hit. When an outer (L2) MIX TLB hits,
@@ -135,7 +135,19 @@ impl TlbStats {
 ///
 /// Implementations are *functional* models — they track which translations
 /// are cached and what each operation costs, not cycle-level timing.
-pub trait TlbDevice {
+///
+/// `Send` is a supertrait so boxed devices can migrate to the worker
+/// threads of the SMP engine (every design is plain owned data).
+///
+/// # ASIDs
+///
+/// The `*_asid` methods thread an address-space identifier through the
+/// device. Their defaults fall back to the untagged behaviour — lookups and
+/// fills ignore the tag and `flush_asid` degenerates to a full flush — so
+/// every design keeps compiling (and behaving exactly as before) without
+/// changes. Designs that store per-entry tags override them and report
+/// [`TlbDevice::supports_asids`] as `true`.
+pub trait TlbDevice: Send {
     /// A short human-readable design name (e.g. `"mix-l1"`).
     fn name(&self) -> &str;
 
@@ -172,6 +184,56 @@ pub trait TlbDevice {
 
     /// Drops every entry (a full shootdown / context switch without ASIDs).
     fn flush(&mut self);
+
+    /// ASID-tagged lookup. Untagged designs ignore the ASID entirely
+    /// (every entry is visible to every space — correct only while a
+    /// single space runs between flushes, which is exactly the legacy
+    /// single-core contract).
+    fn lookup_asid(&mut self, _asid: Asid, vpn: Vpn, kind: AccessKind, pc: u64) -> Lookup {
+        self.lookup_pc(vpn, kind, pc)
+    }
+
+    /// ASID-tagged fill: the installed entries belong to `asid`.
+    /// Untagged designs ignore the tag.
+    fn fill_asid(&mut self, _asid: Asid, vpn: Vpn, requested: &Translation, line: &[Translation]) {
+        self.fill(vpn, requested, line);
+    }
+
+    /// ASID-tagged invalidation: drops the page's entries if they belong
+    /// to `asid` (or unconditionally on untagged designs).
+    fn invalidate_asid(&mut self, _asid: Asid, vpn: Vpn, size: PageSize) {
+        self.invalidate(vpn, size);
+    }
+
+    /// Drops every entry belonging to `asid`, keeping other spaces
+    /// resident. Untagged designs cannot tell entries apart and must
+    /// flush everything — the exact cost ASIDs exist to avoid.
+    fn flush_asid(&mut self, _asid: Asid) {
+        self.flush();
+    }
+
+    /// `true` when the design stores per-entry ASID tags (so
+    /// [`TlbDevice::flush_asid`] is selective and context switches keep
+    /// entries resident).
+    fn supports_asids(&self) -> bool {
+        false
+    }
+
+    /// Number of sets a shootdown of the page at `vpn`/`size` must probe
+    /// in this device — the hardware invalidation cost a remote core pays
+    /// during an IPI, before acknowledging. Conventional set-associative
+    /// designs touch a single set; MIX TLBs must visit **every** set for a
+    /// superpage because mirroring may have spread its entries across all
+    /// of them (the paper's Sec. 5.1 caveat).
+    fn invalidate_sets(&self, _vpn: Vpn, _size: PageSize) -> u64 {
+        1
+    }
+
+    /// Total entry capacity of the device (0 when unknown). Used to derive
+    /// hardware budgets instead of hard-coding them.
+    fn capacity(&self) -> usize {
+        0
+    }
 
     /// A copy of the accumulated statistics.
     fn stats(&self) -> TlbStats;

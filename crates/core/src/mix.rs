@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use mixtlb_types::{AccessKind, PageSize, Permissions, Pfn, Translation, Vpn};
+use mixtlb_types::{AccessKind, Asid, PageSize, Permissions, Pfn, Translation, Vpn};
 
 use crate::api::{Lookup, TlbDevice, TlbStats};
 use crate::storage::SetStorage;
@@ -222,6 +222,9 @@ struct MixEntry {
     perms: Permissions,
     /// Set only when *every* coalesced translation is dirty (Sec. 4.4).
     dirty: bool,
+    /// Address space that installed the entry. [`Asid::UNTAGGED`] entries
+    /// are global (the pre-ASID behaviour).
+    asid: Asid,
 }
 
 impl MixEntry {
@@ -310,14 +313,12 @@ impl MixTlb {
     /// the rest (paper Sec. 4.3: duplicates from blind mirroring are
     /// eliminated when the set is next probed).
     fn eliminate_duplicates(&mut self, set: usize) {
-        let mut seen: Vec<(usize, PageSize, Vpn, u64)> = Vec::new();
+        type DupKey = (PageSize, Vpn, u64, Asid);
+        let mut seen: Vec<(usize, DupKey)> = Vec::new();
         for way in 0..self.storage.ways() {
             let Some(e) = self.storage.get(set, way) else { continue };
-            let key = (e.size, e.bundle_base, e.anchor_pfn);
-            if let Some(&(first_way, ..)) = seen
-                .iter()
-                .find(|&&(_, s, b, a)| (s, b, a) == key)
-            {
+            let key: DupKey = (e.size, e.bundle_base, e.anchor_pfn, e.asid);
+            if let Some(&(first_way, _)) = seen.iter().find(|&&(_, k)| k == key) {
                 // Merge when the representation allows. Disjoint length
                 // ranges are *not* duplicates — they are different
                 // coalesced fragments of the bundle — and both stay.
@@ -334,10 +335,10 @@ impl MixTlb {
                     self.storage.remove(set, way);
                     self.stats.dup_merges += 1;
                 } else {
-                    seen.push((way, key.0, key.1, key.2));
+                    seen.push((way, key));
                 }
             } else {
-                seen.push((way, key.0, key.1, key.2));
+                seen.push((way, key));
             }
         }
     }
@@ -369,7 +370,12 @@ impl MixTlb {
     /// Builds the coalesced map for a fill: scans `line` for translations
     /// in the same bundle that are contiguous with `requested` (same size
     /// and permissions, accessed, physically consistent with the anchor).
-    fn build_fill(&self, requested: &Translation, line: &[Translation]) -> (MixEntry, u32) {
+    fn build_fill(
+        &self,
+        asid: Asid,
+        requested: &Translation,
+        line: &[Translation],
+    ) -> (MixEntry, u32) {
         let size = requested.size;
         let base = self.bundle_base(requested.vpn, size);
         let anchor = requested
@@ -437,18 +443,14 @@ impl MixTlb {
                 map,
                 perms: requested.perms,
                 dirty,
+                asid,
             },
             map.count(),
         )
     }
-}
 
-impl TlbDevice for MixTlb {
-    fn name(&self) -> &str {
-        &self.config.name
-    }
-
-    fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup {
+    /// The ASID-aware lookup body; `lookup`/`lookup_asid` both land here.
+    fn lookup_tagged(&mut self, asid: Asid, vpn: Vpn, kind: AccessKind) -> Lookup {
         self.stats.lookups += 1;
         let set = self.set_of(vpn);
         self.stats.sets_probed += 1;
@@ -459,6 +461,9 @@ impl TlbDevice for MixTlb {
         let mut found: Option<usize> = None;
         for way in 0..self.storage.ways() {
             let Some(e) = self.storage.get(set, way) else { continue };
+            if !e.asid.matches(asid) {
+                continue;
+            }
             let base = self.bundle_base(vpn, e.size);
             if e.bundle_base == base && e.map.contains(self.pos_of(vpn, e.size)) {
                 found = Some(way);
@@ -527,9 +532,10 @@ impl TlbDevice for MixTlb {
         }
     }
 
-    fn fill(&mut self, vpn: Vpn, requested: &Translation, line: &[Translation]) {
+    /// The ASID-aware fill body; `fill`/`fill_asid` both land here.
+    fn fill_tagged(&mut self, asid: Asid, vpn: Vpn, requested: &Translation, line: &[Translation]) {
         self.stats.fills += 1;
-        let (entry, _coalesced) = self.build_fill(requested, line);
+        let (entry, _coalesced) = self.build_fill(asid, requested, line);
         let probed_set = self.set_of(vpn);
         let targets = self.mirror_sets(entry.size, entry.bundle_base, &entry.map);
         for set in targets {
@@ -545,12 +551,15 @@ impl TlbDevice for MixTlb {
                 // same physical anchor*: bundles whose physical backing is
                 // piecewise-linear (common under nested translation, where
                 // host runs break guest runs) legitimately hold several
-                // fragments with different anchors side by side.
+                // fragments with different anchors side by side. ASID tags
+                // must match exactly — a global entry never absorbs a
+                // tagged fragment or vice versa.
                 let dirty_policy = self.config.dirty_policy;
                 if let Some(way) = self.storage.find(set, |e| {
                     e.tag_matches(entry.size, entry.bundle_base)
                         && e.anchor_pfn == entry.anchor_pfn
                         && e.perms == entry.perms
+                        && e.asid == entry.asid
                         && (dirty_policy == DirtyPolicy::AndOfBundle || e.dirty == entry.dirty)
                 }) {
                     self.storage.touch(set, way);
@@ -571,8 +580,8 @@ impl TlbDevice for MixTlb {
             }
             if set != probed_set && self.config.mirror_policy == MirrorPolicy::NonEvicting {
                 // Opportunistic mirror: only an invalid way may take it.
-                if let Some(way) = (0..self.storage.ways())
-                    .find(|&w| self.storage.get(set, w).is_none())
+                if let Some(way) =
+                    (0..self.storage.ways()).find(|&w| self.storage.get(set, w).is_none())
                 {
                     self.storage.insert_at(set, way, entry);
                     self.stats.entries_written += 1;
@@ -585,6 +594,71 @@ impl TlbDevice for MixTlb {
                 self.stats.evictions += 1;
             }
         }
+    }
+
+    /// The ASID-aware invalidation body; `invalidate`/`invalidate_asid`
+    /// both land here. Entries whose tag is visible to `asid` (same space,
+    /// or either side untagged) are cleared.
+    fn invalidate_tagged(&mut self, asid: Asid, vpn: Vpn, size: PageSize) {
+        self.stats.invalidations += 1;
+        let base = self.bundle_base(vpn, size);
+        let pos = self.pos_of(vpn, size);
+        for set in 0..self.config.sets {
+            for way in self
+                .storage
+                .find_all(set, |e| e.tag_matches(size, base) && e.asid.matches(asid))
+            {
+                match self.config.kind {
+                    CoalesceKind::Bitmap => {
+                        let remove = {
+                            let e = self.storage.get_mut(set, way).expect("way is valid");
+                            if let Map::Bits(bits) = &mut e.map {
+                                *bits &= !(1u128 << pos);
+                                *bits == 0
+                            } else {
+                                true
+                            }
+                        };
+                        if remove {
+                            self.storage.remove(set, way);
+                        }
+                    }
+                    CoalesceKind::Length => {
+                        // The paper's simple approach: drop the whole
+                        // coalesced bundle if it contains the page.
+                        let covers = self
+                            .storage
+                            .get(set, way)
+                            .is_some_and(|e| e.map.contains(pos));
+                        if covers {
+                            self.storage.remove(set, way);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl TlbDevice for MixTlb {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup {
+        self.lookup_tagged(Asid::UNTAGGED, vpn, kind)
+    }
+
+    fn lookup_asid(&mut self, asid: Asid, vpn: Vpn, kind: AccessKind, _pc: u64) -> Lookup {
+        self.lookup_tagged(asid, vpn, kind)
+    }
+
+    fn fill(&mut self, vpn: Vpn, requested: &Translation, line: &[Translation]) {
+        self.fill_tagged(Asid::UNTAGGED, vpn, requested, line);
+    }
+
+    fn fill_asid(&mut self, asid: Asid, vpn: Vpn, requested: &Translation, line: &[Translation]) {
+        self.fill_tagged(asid, vpn, requested, line);
     }
 
     fn peek_run(&self, vpn: Vpn) -> Option<crate::api::CoalescedRun> {
@@ -626,44 +700,46 @@ impl TlbDevice for MixTlb {
     }
 
     fn invalidate(&mut self, vpn: Vpn, size: PageSize) {
-        self.stats.invalidations += 1;
-        let base = self.bundle_base(vpn, size);
-        let pos = self.pos_of(vpn, size);
-        for set in 0..self.config.sets {
-            for way in self.storage.find_all(set, |e| e.tag_matches(size, base)) {
-                match self.config.kind {
-                    CoalesceKind::Bitmap => {
-                        let remove = {
-                            let e = self.storage.get_mut(set, way).expect("way is valid");
-                            if let Map::Bits(bits) = &mut e.map {
-                                *bits &= !(1u128 << pos);
-                                *bits == 0
-                            } else {
-                                true
-                            }
-                        };
-                        if remove {
-                            self.storage.remove(set, way);
-                        }
-                    }
-                    CoalesceKind::Length => {
-                        // The paper's simple approach: drop the whole
-                        // coalesced bundle if it contains the page.
-                        let covers = self
-                            .storage
-                            .get(set, way)
-                            .is_some_and(|e| e.map.contains(pos));
-                        if covers {
-                            self.storage.remove(set, way);
-                        }
-                    }
-                }
-            }
-        }
+        self.invalidate_tagged(Asid::UNTAGGED, vpn, size);
+    }
+
+    fn invalidate_asid(&mut self, asid: Asid, vpn: Vpn, size: PageSize) {
+        self.invalidate_tagged(asid, vpn, size);
     }
 
     fn flush(&mut self) {
         self.storage.clear();
+    }
+
+    fn flush_asid(&mut self, asid: Asid) {
+        if asid.is_untagged() {
+            self.flush();
+            return;
+        }
+        for set in 0..self.config.sets {
+            for way in self.storage.find_all(set, |e| e.asid == asid) {
+                self.storage.remove(set, way);
+            }
+        }
+    }
+
+    fn supports_asids(&self) -> bool {
+        true
+    }
+
+    fn invalidate_sets(&self, _vpn: Vpn, size: PageSize) -> u64 {
+        // Superpages are mirrored: their entries may sit in *every* set, so
+        // a shootdown must sweep the whole array (Sec. 5.1). Small pages
+        // index a single set (after small-page coalescing groups regions).
+        if size.is_superpage() {
+            self.config.sets as u64
+        } else {
+            1
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.total_entries()
     }
 
     fn stats(&self) -> TlbStats {
@@ -1097,6 +1173,80 @@ mod tests {
             sets: 3,
             ..MixTlbConfig::l1(2, 2)
         });
+    }
+
+    #[test]
+    fn asid_tagged_entries_are_isolated_per_space() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(4, 2));
+        let (p1, p2) = (Asid::new(1), Asid::new(2));
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill_asid(p1, b.vpn, &b, &[b]);
+        // Visible to its own space, invisible to the other.
+        assert!(tlb
+            .lookup_asid(p1, Vpn::new(0x400), AccessKind::Load, 0)
+            .is_hit());
+        assert!(!tlb
+            .lookup_asid(p2, Vpn::new(0x400), AccessKind::Load, 0)
+            .is_hit());
+        // Same VPN in the other space caches independently.
+        let b2 = sp2m(0x400, 0x9000);
+        tlb.fill_asid(p2, b2.vpn, &b2, &[b2]);
+        match tlb.lookup_asid(p2, Vpn::new(0x400), AccessKind::Load, 0) {
+            Lookup::Hit { translation, .. } => assert_eq!(translation.pfn.raw(), 0x9000),
+            Lookup::Miss => panic!("expected hit"),
+        }
+        match tlb.lookup_asid(p1, Vpn::new(0x400), AccessKind::Load, 0) {
+            Lookup::Hit { translation, .. } => assert_eq!(translation.pfn.raw(), 0x2000),
+            Lookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn flush_asid_is_selective() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(4, 2));
+        let (p1, p2) = (Asid::new(1), Asid::new(2));
+        let a = t4k(0x5, 0x50);
+        let b = t4k(0x6, 0x60);
+        tlb.fill_asid(p1, a.vpn, &a, &[a]);
+        tlb.fill_asid(p2, b.vpn, &b, &[b]);
+        tlb.flush_asid(p1);
+        assert!(!tlb.lookup_asid(p1, a.vpn, AccessKind::Load, 0).is_hit());
+        assert!(tlb.lookup_asid(p2, b.vpn, AccessKind::Load, 0).is_hit());
+        // Untagged flush_asid degenerates to a full flush.
+        tlb.flush_asid(Asid::UNTAGGED);
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_asid_only_touches_visible_entries() {
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(4, 2));
+        let (p1, p2) = (Asid::new(1), Asid::new(2));
+        let b = sp2m(0x400, 0x2000);
+        let b2 = sp2m(0x400, 0x9000);
+        tlb.fill_asid(p1, b.vpn, &b, &[b]);
+        tlb.fill_asid(p2, b2.vpn, &b2, &[b2]);
+        tlb.invalidate_asid(p1, Vpn::new(0x400), PageSize::Size2M);
+        assert!(!tlb.lookup_asid(p1, Vpn::new(0x400), AccessKind::Load, 0).is_hit());
+        assert!(tlb.lookup_asid(p2, Vpn::new(0x400), AccessKind::Load, 0).is_hit());
+    }
+
+    #[test]
+    fn untagged_api_behaves_as_before() {
+        // The legacy entry points must ignore ASIDs entirely.
+        let mut tlb = MixTlb::new(MixTlbConfig::l1(2, 2));
+        let b = sp2m(0x400, 0x2000);
+        tlb.fill(b.vpn, &b, &[b]);
+        assert!(tlb.lookup_asid(Asid::new(9), Vpn::new(0x400), AccessKind::Load, 0).is_hit());
+        assert!(tlb.supports_asids());
+    }
+
+    #[test]
+    fn shootdown_cost_reflects_mirroring() {
+        let tlb = MixTlb::new(MixTlbConfig::l1(16, 4));
+        // A superpage shootdown must sweep every set; a 4 KB one probes one.
+        assert_eq!(tlb.invalidate_sets(Vpn::new(0x400), PageSize::Size2M), 16);
+        assert_eq!(tlb.invalidate_sets(Vpn::new(0x5), PageSize::Size4K), 1);
+        assert_eq!(tlb.capacity(), 64);
     }
 
     #[test]

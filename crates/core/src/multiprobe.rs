@@ -241,6 +241,15 @@ impl TlbDevice for MultiProbeTlb {
         self.storage.clear();
     }
 
+    fn invalidate_sets(&self, _vpn: Vpn, size: PageSize) -> u64 {
+        // Each size indexes a single set; uncached sizes cost nothing.
+        u64::from(self.caches(size))
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.sets * self.config.ways
+    }
+
     fn stats(&self) -> TlbStats {
         self.stats
     }
@@ -351,7 +360,7 @@ mod tests {
         tlb.lookup(Vpn::new(0x400), AccessKind::Load);
         assert_eq!(tlb.stats().serial_probes, 1);
         // A miss tries all 3 sizes: two more serial rehashes.
-        tlb.lookup(Vpn::new(0x9999_99), AccessKind::Load);
+        tlb.lookup(Vpn::new(0x0099_9999), AccessKind::Load);
         assert_eq!(tlb.stats().serial_probes, 3);
         // A first-probe hit adds none.
         let a = trans(7, 70, PageSize::Size4K);

@@ -91,6 +91,15 @@ impl TlbDevice for OracleUnifiedTlb {
         self.inner.flush();
     }
 
+    fn invalidate_sets(&self, vpn: Vpn, size: PageSize) -> u64 {
+        // The oracle knows the size up front: one set, like the inner array.
+        self.inner.invalidate_sets(vpn, size)
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
     fn stats(&self) -> TlbStats {
         let inner = self.inner.stats();
         let mut merged = self.stats;

@@ -211,6 +211,21 @@ impl TlbDevice for SingleSizeTlb {
         self.storage.clear();
     }
 
+    fn invalidate_sets(&self, _vpn: Vpn, size: PageSize) -> u64 {
+        // A conventional single-size TLB computes the index from the page
+        // number directly: a shootdown probes exactly one set when the size
+        // matches, and zero when this sub-TLB cannot hold the page at all.
+        if size == self.config.size {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.sets * self.config.ways
+    }
+
     fn stats(&self) -> TlbStats {
         self.stats
     }

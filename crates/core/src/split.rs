@@ -150,6 +150,20 @@ impl TlbDevice for SplitTlb {
         }
     }
 
+    fn invalidate_sets(&self, vpn: Vpn, size: PageSize) -> u64 {
+        // Only the sub-TLB of the page's size is probed, and it touches a
+        // single set: split TLBs pay the minimum shootdown cost (Sec. 5.1
+        // contrasts this with MIX's mirrored sweep).
+        self.parts
+            .iter()
+            .map(|p| p.invalidate_sets(vpn, size))
+            .sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.parts.iter().map(TlbDevice::capacity).sum()
+    }
+
     fn stats(&self) -> TlbStats {
         // Merge the per-part probe/write counters into the logical view.
         let mut merged = self.stats;

@@ -44,13 +44,13 @@ impl<E> SetStorage<E> {
 
     /// Index of the first way in `set` whose entry satisfies `pred`.
     pub(crate) fn find(&self, set: usize, mut pred: impl FnMut(&E) -> bool) -> Option<usize> {
-        (0..self.ways).find(|&w| self.get(set, w).is_some_and(|e| pred(e)))
+        (0..self.ways).find(|&w| self.get(set, w).is_some_and(&mut pred))
     }
 
     /// All ways in `set` whose entries satisfy `pred`.
     pub(crate) fn find_all(&self, set: usize, mut pred: impl FnMut(&E) -> bool) -> Vec<usize> {
         (0..self.ways)
-            .filter(|&w| self.get(set, w).is_some_and(|e| pred(e)))
+            .filter(|&w| self.get(set, w).is_some_and(&mut pred))
             .collect()
     }
 

@@ -56,11 +56,11 @@ fn world(seed: u64) -> Vec<Translation> {
     let mut seen: HashMap<u64, Translation> = HashMap::new();
     out.retain(|t| {
         let key = t.vpn.align_down(PageSize::Size2M).raw();
-        if seen.contains_key(&key) {
-            false
-        } else {
-            seen.insert(key, *t);
+        if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+            e.insert(*t);
             true
+        } else {
+            false
         }
     });
     out

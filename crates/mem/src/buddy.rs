@@ -189,7 +189,7 @@ impl BuddyAllocator {
     /// [`AllocError::RangeBusy`] if the range is not entirely free.
     pub fn alloc_at(&mut self, base: u64, order: u8) -> Result<(), AllocError> {
         if order > MAX_ORDER
-            || base % (1u64 << order) != 0
+            || !base.is_multiple_of(1u64 << order)
             || base + (1u64 << order) > self.total_frames
         {
             return Err(AllocError::BadRequest);
@@ -264,7 +264,7 @@ impl BuddyAllocator {
     /// carved out of free space right now.
     pub fn is_range_free(&self, base: u64, order: u8) -> bool {
         if order > MAX_ORDER
-            || base % (1u64 << order) != 0
+            || !base.is_multiple_of(1u64 << order)
             || base + (1u64 << order) > self.total_frames
         {
             return false;

@@ -205,7 +205,7 @@ impl PhysicalMemory {
     /// For windows of 2 MB and larger this reads cached per-window counters
     /// and is O(window / 2 MB); smaller windows scan frame states directly.
     pub fn window_occupancy(&self, base: Pfn, order: u8) -> (u64, u64) {
-        if order >= 9 && base.raw() % 512 == 0 {
+        if order >= 9 && base.raw().is_multiple_of(512) {
             let first = (base.raw() / 512) as usize;
             let count = 1usize << (order - 9);
             let last = (first + count).min(self.window_movable.len());
@@ -247,7 +247,8 @@ impl PhysicalMemory {
         kind: FrameKind,
         budget_frames: u64,
     ) -> CompactionOutcome {
-        if base.raw() % (1u64 << order) != 0 || base.raw() + (1u64 << order) > self.total_frames()
+        if !base.raw().is_multiple_of(1u64 << order)
+            || base.raw() + (1u64 << order) > self.total_frames()
         {
             return CompactionOutcome::Pinned;
         }

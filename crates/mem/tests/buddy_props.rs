@@ -43,7 +43,7 @@ proptest! {
                         }
                         Err(AllocError::OutOfMemory) => {
                             prop_assert!(
-                                buddy.largest_free_order().map_or(true, |o| o < order),
+                                buddy.largest_free_order().is_none_or(|o| o < order),
                                 "OutOfMemory although a block of order {} exists", order
                             );
                         }

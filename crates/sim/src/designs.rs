@@ -165,8 +165,11 @@ pub fn gpu_mix_l1() -> Box<dyn mixtlb_core::TlbDevice> {
     Box::new(MixTlb::new(MixTlbConfig::l1(32, 5).named("mix-gpu-l1")))
 }
 
+/// A design constructor, as stored in the sweep tables.
+pub type DesignFactory = fn() -> TlbHierarchy;
+
 /// Every CPU design keyed by name — the sweep the figure benchmarks run.
-pub fn all_cpu_designs() -> Vec<(&'static str, fn() -> TlbHierarchy)> {
+pub fn all_cpu_designs() -> Vec<(&'static str, DesignFactory)> {
     vec![
         ("split", haswell_split as fn() -> TlbHierarchy),
         ("mix", mix),

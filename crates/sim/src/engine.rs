@@ -6,7 +6,7 @@ use mixtlb_core::{Lookup, MixTlb, MixTlbConfig, TlbDevice, TlbStats};
 use mixtlb_energy::WalkTraffic;
 use mixtlb_pagetable::{NestedTranslationCache, NestedWalker, PageTable, Walker};
 use mixtlb_trace::TraceEvent;
-use mixtlb_types::{PhysAddr, Translation, VirtAddr, Vpn};
+use mixtlb_types::{Asid, PhysAddr, Translation, VirtAddr, Vpn};
 
 /// A two-level TLB hierarchy under test.
 pub struct TlbHierarchy {
@@ -29,18 +29,21 @@ impl std::fmt::Debug for TlbHierarchy {
 }
 
 impl TlbHierarchy {
-    /// Assembles a hierarchy. `total_entries` (for leakage) defaults to the
-    /// Haswell budget of 644; override with [`TlbHierarchy::with_entries`].
+    /// Assembles a hierarchy. `total_entries` (for leakage) is derived from
+    /// the devices' [`TlbDevice::capacity`]; designs that do not report a
+    /// capacity fall back to the Haswell budget of 644. Override with
+    /// [`TlbHierarchy::with_entries`].
     pub fn new(
         name: &str,
         l1: Box<dyn TlbDevice>,
         l2: Option<Box<dyn TlbDevice>>,
     ) -> TlbHierarchy {
+        let derived = l1.capacity() + l2.as_ref().map_or(0, |t| t.capacity());
         TlbHierarchy {
             name: name.to_owned(),
             l1,
             l2,
-            total_entries: 644,
+            total_entries: if derived > 0 { derived } else { 644 },
         }
     }
 
@@ -58,6 +61,20 @@ impl TlbHierarchy {
     /// Total entries across levels (leakage accounting).
     pub fn total_entries(&self) -> usize {
         self.total_entries
+    }
+
+    /// Number of TLB sets a shootdown of the page at `vpn`/`size` must
+    /// probe across both levels — the per-core hardware invalidation cost
+    /// during an IPI (MIX hierarchies sweep every set for superpages).
+    pub fn invalidate_sets(&self, vpn: Vpn, size: mixtlb_types::PageSize) -> u64 {
+        self.l1.invalidate_sets(vpn, size)
+            + self.l2.as_ref().map_or(0, |t| t.invalidate_sets(vpn, size))
+    }
+
+    /// Whether every level honours ASID tags — only then can a context
+    /// switch skip the flush (x86 PCID semantics).
+    pub fn supports_asids(&self) -> bool {
+        self.l1.supports_asids() && self.l2.as_ref().is_none_or(|t| t.supports_asids())
     }
 }
 
@@ -154,6 +171,9 @@ pub struct TranslationEngine<'a> {
     ntlb: Option<Box<dyn TlbDevice>>,
     backend: WalkBackend<'a>,
     l2_hit_cycles: u64,
+    /// Tag for lookups and fills. [`Asid::UNTAGGED`] (the default)
+    /// reproduces untagged hardware exactly.
+    asid: Asid,
     stats: EngineStats,
 }
 
@@ -170,8 +190,21 @@ impl<'a> TranslationEngine<'a> {
             ))),
             backend,
             l2_hit_cycles: 7,
+            asid: Asid::UNTAGGED,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Sets the address-space identifier tagging subsequent lookups and
+    /// fills — the PCID of the running process. On designs whose devices
+    /// ignore tags this is a no-op (see [`TlbHierarchy::supports_asids`]).
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.asid = asid;
+    }
+
+    /// Whether the hierarchy under test honours ASID tags.
+    pub fn supports_asids(&self) -> bool {
+        self.hierarchy.supports_asids()
     }
 
     /// The hierarchy under test.
@@ -214,7 +247,7 @@ impl<'a> TranslationEngine<'a> {
         let vpn = ev.va.vpn();
         // L1. Extra serial probes (hash-rehash) cost pipeline bubbles.
         let l1_serial_before = self.hierarchy.l1.stats().serial_probes;
-        let l1_result = self.hierarchy.l1.lookup_pc(vpn, ev.kind, ev.pc);
+        let l1_result = self.hierarchy.l1.lookup_asid(self.asid, vpn, ev.kind, ev.pc);
         let l1_serial = self.hierarchy.l1.stats().serial_probes - l1_serial_before;
         self.stats.stall_cycles += 2 * l1_serial;
         match l1_result {
@@ -236,7 +269,7 @@ impl<'a> TranslationEngine<'a> {
             self.stats.stall_cycles += self.l2_hit_cycles;
             let l2 = self.hierarchy.l2.as_mut().expect("just checked");
             let l2_serial_before = l2.stats().serial_probes;
-            let l2_result = l2.lookup_pc(vpn, ev.kind, ev.pc);
+            let l2_result = l2.lookup_asid(self.asid, vpn, ev.kind, ev.pc);
             let l2_serial = l2.stats().serial_probes - l2_serial_before;
             self.stats.stall_cycles += self.l2_hit_cycles * l2_serial;
             match l2_result {
@@ -255,10 +288,12 @@ impl<'a> TranslationEngine<'a> {
                     match run {
                         Some(run) if run.len > 1 => {
                             let line = run.translations();
-                            self.hierarchy.l1.fill(vpn, &translation, &line);
+                            self.hierarchy.l1.fill_asid(self.asid, vpn, &translation, &line);
                         }
                         _ => {
-                            self.hierarchy.l1.fill(vpn, &translation, &[translation]);
+                            self.hierarchy
+                                .l1
+                                .fill_asid(self.asid, vpn, &translation, &[translation]);
                         }
                     }
                     return translation.translate(ev.va).ok();
@@ -294,7 +329,7 @@ impl<'a> TranslationEngine<'a> {
             return None;
         };
         if let Some(l2) = self.hierarchy.l2.as_mut() {
-            l2.fill(vpn, &translation, &walk.line);
+            l2.fill_asid(self.asid, vpn, &translation, &walk.line);
             // A coalescing L2 may have merged this fill into an entry that
             // already covered neighbouring translations; hand the merged
             // run down so the L1 absorbs the full extent (same datapath
@@ -302,12 +337,12 @@ impl<'a> TranslationEngine<'a> {
             if let Some(run) = l2.peek_run(vpn) {
                 if run.len as usize > walk.line.len() {
                     let line = run.translations();
-                    self.hierarchy.l1.fill(vpn, &translation, &line);
+                    self.hierarchy.l1.fill_asid(self.asid, vpn, &translation, &line);
                     return translation.translate(ev.va).ok();
                 }
             }
         }
-        self.hierarchy.l1.fill(vpn, &translation, &walk.line);
+        self.hierarchy.l1.fill_asid(self.asid, vpn, &translation, &walk.line);
         translation.translate(ev.va).ok()
     }
 

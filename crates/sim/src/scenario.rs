@@ -5,7 +5,7 @@ use mixtlb_mem::{Memhog, MemhogConfig, MemoryConfig, PhysicalMemory};
 use mixtlb_os::scan::{ContiguityStats, PageSizeDistribution};
 use mixtlb_os::{FaultStats, Kernel, PagingPolicy, SpaceId, ThsConfig};
 use mixtlb_trace::{TraceGenerator, WorkloadSpec};
-use mixtlb_types::{PageSize, Permissions, Vpn, PAGE_SIZE_4K};
+use mixtlb_types::{Asid, PageSize, Permissions, Vpn, PAGE_SIZE_4K};
 
 use crate::engine::{TlbHierarchy, TranslationEngine, WalkBackend};
 use crate::model::PerfReport;
@@ -210,6 +210,23 @@ impl NativeScenario {
         &self.spec
     }
 
+    /// A clone of the faulted page table, for engines that own their
+    /// replay state (the SMP engine clones one per core so every core
+    /// sees identical A/D state).
+    pub fn clone_page_table(&self) -> mixtlb_pagetable::PageTable {
+        self.kernel.space(self.space).page_table().clone()
+    }
+
+    /// First 4 KB page of the mapped footprint.
+    pub fn region(&self) -> Vpn {
+        self.region
+    }
+
+    /// The scenario's RNG seed (trace streams derive from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The page-size distribution the OS produced (Figures 1, 9).
     pub fn distribution(&self) -> PageSizeDistribution {
         PageSizeDistribution::of(self.kernel.space(self.space).page_table())
@@ -256,6 +273,57 @@ impl NativeScenario {
             done += burst;
             if done < refs {
                 engine.flush_tlbs();
+            }
+        }
+        let (stats, l1, l2, _caches) = engine.finish();
+        PerfReport::build(&design, &self.spec, &stats, &l1, l2.as_ref(), total_entries)
+    }
+
+    /// Like [`NativeScenario::run_with_flushes`], but context switches go
+    /// through the **ASID path**: the workload runs under PCID 1, and at
+    /// every switch an intruder process (PCID 2, a decorrelated stream of
+    /// the same workload class) runs a short burst. On hierarchies that
+    /// honour tags ([`TlbHierarchy::supports_asids`]) no flush happens —
+    /// both processes' entries coexist, tagged, and the workload's reach
+    /// survives the switch. Hierarchies without tag support must still
+    /// flush around the intruder, exactly as untagged hardware would.
+    ///
+    /// The intruder burst is `interval / 8` references, identical for
+    /// every design, so reports stay comparable side by side with
+    /// [`NativeScenario::run_with_flushes`].
+    pub fn run_with_asid_switches(
+        &mut self,
+        hierarchy: TlbHierarchy,
+        refs: u64,
+        interval: u64,
+    ) -> PerfReport {
+        assert!(interval > 0, "switch interval must be non-zero");
+        let mut pt = self.kernel.space(self.space).page_table().clone();
+        let design = hierarchy.name().to_owned();
+        let total_entries = hierarchy.total_entries();
+        let mut engine = TranslationEngine::new(hierarchy, WalkBackend::Native(&mut pt));
+        let tagged = engine.supports_asids();
+        let workload = Asid::new(1);
+        let intruder = Asid::new(2);
+        let mut generator = TraceGenerator::new(&self.spec, self.seed, self.region);
+        let mut intruder_gen =
+            TraceGenerator::new(&self.spec, self.seed ^ 0xDEAD_BEEF, self.region);
+        let intruder_burst = (interval / 8).max(1);
+        let mut done = 0u64;
+        while done < refs {
+            engine.set_asid(workload);
+            let burst = interval.min(refs - done);
+            engine.run(generator.by_ref().take(burst as usize));
+            done += burst;
+            if done < refs {
+                if !tagged {
+                    engine.flush_tlbs();
+                }
+                engine.set_asid(intruder);
+                engine.run(intruder_gen.by_ref().take(intruder_burst as usize));
+                if !tagged {
+                    engine.flush_tlbs();
+                }
             }
         }
         let (stats, l1, l2, _caches) = engine.finish();

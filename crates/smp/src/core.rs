@@ -1,0 +1,329 @@
+//! One simulated core: private TLB hierarchy, private caches, PWC, its
+//! own page table, and its trace stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mixtlb_cache::{CacheHierarchy, HierarchyConfig, PageWalkCache, SharedCache};
+use mixtlb_core::{Lookup, TlbStats};
+use mixtlb_pagetable::{PageTable, Walker};
+use mixtlb_sim::TlbHierarchy;
+use mixtlb_trace::{TraceEvent, TraceGenerator};
+use mixtlb_types::{Asid, PhysAddr, Pfn, Vpn};
+
+use crate::shootdown::SweepWidths;
+
+/// Counters of one core's replay.
+///
+/// Every field except [`CoreStats::llc_stall_cycles`] is a pure function
+/// of the core's own stream and private state — identical between serial
+/// and parallel replay. `llc_stall_cycles` depends on how the cores'
+/// accesses interleave in the shared LLC and is reported separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Trace events replayed.
+    pub accesses: u64,
+    /// L1 TLB hits.
+    pub l1_hits: u64,
+    /// L2 TLB hits (on L1 misses).
+    pub l2_hits: u64,
+    /// Page-table walks.
+    pub walks: u64,
+    /// Faulting walks (zero after pre-faulting).
+    pub faults: u64,
+    /// Dirty-bit update micro-ops on store hits.
+    pub dirty_microops: u64,
+    /// Deterministic stall cycles: L2 TLB probe latency plus private-cache
+    /// latency of walk references.
+    pub local_stall_cycles: u64,
+    /// Stall cycles from shared-LLC/DRAM walk references
+    /// (interleaving-dependent; excluded from determinism comparisons).
+    pub llc_stall_cycles: u64,
+    /// Shootdowns this core initiated.
+    pub shootdowns_initiated: u64,
+    /// Cycles this core paid initiating them (IPIs + own sweep + waiting
+    /// for remote acknowledgements).
+    pub shootdown_cycles_initiated: u64,
+    /// TLB sets this core swept in its own hierarchy for its own
+    /// shootdowns.
+    pub sets_swept_local: u64,
+    /// Machine-wide TLB sets swept per shootdown this core initiated
+    /// (own + every remote) — the paper's Sec. 5.1 mirrored-sweep cost.
+    pub sets_swept_global: u64,
+}
+
+/// Cost tables a core needs to charge shootdowns without touching any
+/// other core's state: everything is precomputed from TLB geometry by
+/// [`crate::SmpMachine`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShootdownTables {
+    /// Cycles the initiator pays, by page-size code.
+    pub initiated_cost_by_size: [u64; 3],
+    /// Machine-wide sets swept, by page-size code.
+    pub global_sets_by_size: [u64; 3],
+    /// Per remote core: `(core index, absorbed cycles by size code)`.
+    pub remote_contrib: Vec<(usize, [u64; 3])>,
+}
+
+/// One core of an [`crate::SmpMachine`].
+pub struct SmpCore {
+    pub(crate) id: usize,
+    pub(crate) asid: Asid,
+    pub(crate) hierarchy: TlbHierarchy,
+    caches: CacheHierarchy,
+    pwc: PageWalkCache,
+    pub(crate) pt: PageTable,
+    generator: TraceGenerator,
+    region: Vpn,
+    footprint_pages: u64,
+    /// Initiate a shootdown every this many accesses (0 = never).
+    shootdown_interval: u64,
+    shootdown_count: u64,
+    pub(crate) sweep: SweepWidths,
+    pub(crate) tables: ShootdownTables,
+    l2_hit_cycles: u64,
+    stats: CoreStats,
+}
+
+impl std::fmt::Debug for SmpCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmpCore")
+            .field("id", &self.id)
+            .field("asid", &self.asid)
+            .field("design", &self.hierarchy.name())
+            .finish()
+    }
+}
+
+impl SmpCore {
+    /// Assembles a core. The private cache hierarchy is the Haswell
+    /// L1D+L2 ([`HierarchyConfig::haswell_private`]); misses continue into
+    /// the machine's shared LLC.
+    pub fn new(
+        id: usize,
+        hierarchy: TlbHierarchy,
+        pt: PageTable,
+        generator: TraceGenerator,
+        region: Vpn,
+        footprint_pages: u64,
+    ) -> SmpCore {
+        SmpCore {
+            id,
+            asid: Asid::new(id as u16 + 1),
+            hierarchy,
+            caches: CacheHierarchy::new(HierarchyConfig::haswell_private()),
+            pwc: PageWalkCache::new(32),
+            pt,
+            generator,
+            region,
+            footprint_pages: footprint_pages.max(1),
+            shootdown_interval: 0,
+            shootdown_count: 0,
+            sweep: SweepWidths::default(),
+            tables: ShootdownTables::default(),
+            l2_hit_cycles: 7,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Sets the shootdown cadence: one initiated shootdown every
+    /// `interval` accesses (0 disables).
+    pub fn with_shootdown_interval(mut self, interval: u64) -> SmpCore {
+        self.shootdown_interval = interval;
+        self
+    }
+
+    /// The core's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The core's address-space identifier.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Mutable access for the machine's quiesced shootdown path.
+    pub(crate) fn stats_mut(&mut self) -> &mut CoreStats {
+        &mut self.stats
+    }
+
+    /// The L1 TLB statistics.
+    pub fn l1_stats(&self) -> TlbStats {
+        self.hierarchy.l1.stats()
+    }
+
+    /// The L2 TLB statistics, if an L2 is configured.
+    pub fn l2_stats(&self) -> Option<TlbStats> {
+        self.hierarchy.l2.as_ref().map(|t| t.stats())
+    }
+
+    /// Replays `refs` events, initiating shootdowns on the configured
+    /// cadence. Remote shootdown costs are published into `absorbed`
+    /// (one counter per core) — the only cross-core communication, and a
+    /// commutative sum, so totals are interleaving-independent.
+    pub(crate) fn run(&mut self, refs: u64, llc: &SharedCache, absorbed: &[AtomicU64]) {
+        for _ in 0..refs {
+            let ev = self.generator.next().expect("generator is infinite");
+            self.step(&ev, llc);
+            if self.shootdown_interval > 0 && self.stats.accesses.is_multiple_of(self.shootdown_interval)
+            {
+                self.initiate_shootdown(absorbed);
+            }
+        }
+    }
+
+    /// Translates one event through TLBs, walks, private caches, and the
+    /// shared LLC. Returns the physical address (`None` on a fault).
+    pub(crate) fn step(&mut self, ev: &TraceEvent, llc: &SharedCache) -> Option<PhysAddr> {
+        self.stats.accesses += 1;
+        let vpn = ev.va.vpn();
+        match self.hierarchy.l1.lookup_asid(self.asid, vpn, ev.kind, ev.pc) {
+            Lookup::Hit {
+                translation,
+                dirty_microop,
+                ..
+            } => {
+                if dirty_microop {
+                    self.handle_dirty_microop(vpn, llc);
+                }
+                self.stats.l1_hits += 1;
+                return translation.translate(ev.va).ok();
+            }
+            Lookup::Miss => {}
+        }
+        if self.hierarchy.l2.is_some() {
+            self.stats.local_stall_cycles += self.l2_hit_cycles;
+            let l2 = self.hierarchy.l2.as_mut().expect("just checked");
+            match l2.lookup_asid(self.asid, vpn, ev.kind, ev.pc) {
+                Lookup::Hit {
+                    translation,
+                    dirty_microop,
+                    run,
+                } => {
+                    if dirty_microop {
+                        self.handle_dirty_microop(vpn, llc);
+                    }
+                    self.stats.l2_hits += 1;
+                    match run {
+                        Some(run) if run.len > 1 => {
+                            let line = run.translations();
+                            self.hierarchy.l1.fill_asid(self.asid, vpn, &translation, &line);
+                        }
+                        _ => {
+                            self.hierarchy
+                                .l1
+                                .fill_asid(self.asid, vpn, &translation, &[translation]);
+                        }
+                    }
+                    return translation.translate(ev.va).ok();
+                }
+                Lookup::Miss => {}
+            }
+        }
+        // Walk the core's page table; PTE references go through the
+        // private caches, then the shared LLC.
+        self.stats.walks += 1;
+        let walk = Walker::walk(&mut self.pt, ev.va, ev.kind);
+        let last = walk.pte_reads.len().saturating_sub(1);
+        for (i, pa) in walk.pte_reads.iter().enumerate() {
+            if i != last && self.pwc.access(*pa) {
+                self.stats.local_stall_cycles += 1;
+                continue;
+            }
+            self.memory_reference(*pa, llc);
+        }
+        for pa in &walk.pte_writes {
+            self.memory_reference(*pa, llc);
+        }
+        let Some(translation) = walk.translation else {
+            self.stats.faults += 1;
+            return None;
+        };
+        if let Some(l2) = self.hierarchy.l2.as_mut() {
+            l2.fill_asid(self.asid, vpn, &translation, &walk.line_translations);
+            if let Some(run) = l2.peek_run(vpn) {
+                if run.len as usize > walk.line_translations.len() {
+                    let line = run.translations();
+                    self.hierarchy.l1.fill_asid(self.asid, vpn, &translation, &line);
+                    return translation.translate(ev.va).ok();
+                }
+            }
+        }
+        self.hierarchy
+            .l1
+            .fill_asid(self.asid, vpn, &translation, &walk.line_translations);
+        translation.translate(ev.va).ok()
+    }
+
+    /// A memory reference on the walk path: private L1D/L2, and the
+    /// shared LLC behind a private miss. Private latency is deterministic;
+    /// LLC latency is booked separately.
+    fn memory_reference(&mut self, pa: PhysAddr, llc: &SharedCache) {
+        let private = self.caches.access(pa);
+        self.stats.local_stall_cycles += private.cycles;
+        if private.dram {
+            // The private hierarchy missed everywhere; `dram` here means
+            // "left the core" — the LLC answers (or DRAM behind it).
+            let shared = llc.access(pa);
+            self.stats.llc_stall_cycles += shared.cycles;
+        }
+    }
+
+    fn handle_dirty_microop(&mut self, vpn: Vpn, llc: &SharedCache) {
+        self.stats.dirty_microops += 1;
+        if let Some(pa) = self.pt.set_dirty(vpn) {
+            // Off the critical path (Sec. 4.4): traffic, not stall cycles.
+            let private = self.caches.access(pa);
+            if private.dram {
+                llc.access(pa);
+            }
+        }
+    }
+
+    /// Initiates one shootdown: deterministically pick a mapped page of
+    /// this core's footprint, migrate it to a new frame, invalidate the
+    /// local TLBs, and charge the machine-wide cost.
+    pub(crate) fn initiate_shootdown(&mut self, absorbed: &[AtomicU64]) {
+        self.shootdown_count += 1;
+        // Weyl-style scramble: deterministic, spreads over the footprint.
+        let idx = self
+            .shootdown_count
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            >> 11;
+        let vpn = Vpn::new(self.region.raw() + idx % self.footprint_pages);
+        let Some(t) = self.pt.lookup(vpn) else { return };
+        // Migrate to a different frame (functional model: the new frame
+        // only needs to be distinct).
+        let new_pfn = Pfn::new(t.pfn.raw() ^ (1 << 33));
+        self.pt
+            .remap(t.vpn, t.size, new_pfn)
+            .expect("page was just looked up");
+        self.apply_local_invalidation(t.vpn, t.size);
+        let code = t.size.encode() as usize;
+        self.stats.shootdowns_initiated += 1;
+        self.stats.sets_swept_local += self.sweep.by_size[code];
+        self.stats.sets_swept_global += self.tables.global_sets_by_size[code];
+        self.stats.shootdown_cycles_initiated += self.tables.initiated_cost_by_size[code];
+        for (remote, contrib) in &self.tables.remote_contrib {
+            absorbed[*remote].fetch_add(contrib[code], Ordering::Relaxed);
+        }
+    }
+
+    /// Sweeps the local TLBs and MMU caches for a shootdown of
+    /// `vpn`/`size` (used both for self-initiated shootdowns and for the
+    /// quiesced broadcast path).
+    pub(crate) fn apply_local_invalidation(&mut self, vpn: Vpn, size: mixtlb_types::PageSize) {
+        // Untagged invalidation: a shootdown removes the page for every
+        // space (the kernel does not know which ASIDs cached it).
+        self.hierarchy.l1.invalidate(vpn, size);
+        if let Some(l2) = self.hierarchy.l2.as_mut() {
+            l2.invalidate(vpn, size);
+        }
+        self.pwc.flush();
+    }
+}

@@ -1,0 +1,191 @@
+//! Multi-programmed SMP scenarios: one kernel, one address space per
+//! core, each running its own workload (the paper's consolidation
+//! set-up, where distinct processes pressure distinct page tables but
+//! share the last-level cache and the shootdown fabric).
+
+use mixtlb_mem::{MemoryConfig, PhysicalMemory};
+use mixtlb_os::{Kernel, PagingPolicy, SpaceId, ThsConfig};
+use mixtlb_trace::{TraceGenerator, WorkloadSpec};
+use mixtlb_types::{Permissions, Vpn, PAGE_SIZE_4K};
+
+use mixtlb_cache::SharedCacheConfig;
+use mixtlb_sim::TlbHierarchy;
+
+use crate::core::SmpCore;
+use crate::machine::SmpMachine;
+use crate::shootdown::ShootdownModel;
+
+/// Seed decorrelation identical to `mixtlb-trace`'s per-core streams:
+/// each core's stream derives from the scenario seed but is statistically
+/// independent of the others.
+fn core_seed(seed: u64, core: usize) -> u64 {
+    seed ^ (core as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Configuration of a multi-programmed scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmpScenarioConfig {
+    /// Machine memory in bytes, shared by all cores' footprints.
+    pub mem_bytes: u64,
+    /// Cap on each core's footprint (None = its fair share of memory).
+    pub per_core_cap: Option<u64>,
+    /// RNG seed; per-core streams decorrelate from it.
+    pub seed: u64,
+    /// Initiate one shootdown every this many accesses per core
+    /// (0 = never). Models migration/compaction churn.
+    pub shootdown_interval: u64,
+}
+
+impl SmpScenarioConfig {
+    /// A tiny configuration for unit tests (512 MB machine).
+    pub fn quick() -> SmpScenarioConfig {
+        SmpScenarioConfig {
+            mem_bytes: 512 << 20,
+            per_core_cap: Some(64 << 20),
+            seed: 42,
+            shootdown_interval: 0,
+        }
+    }
+
+    /// The benchmark default: a 4 GB machine with periodic shootdowns.
+    pub fn standard() -> SmpScenarioConfig {
+        SmpScenarioConfig {
+            mem_bytes: 4 << 30,
+            per_core_cap: None,
+            seed: 42,
+            shootdown_interval: 10_000,
+        }
+    }
+
+    /// Sets the shootdown cadence.
+    pub fn with_shootdown_interval(mut self, interval: u64) -> SmpScenarioConfig {
+        self.shootdown_interval = interval;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> SmpScenarioConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A prepared multi-programmed scenario: one address space per core,
+/// each pre-faulted under transparent hugepage support, ready to build
+/// [`SmpMachine`]s for any TLB design.
+pub struct MultiProgrammedScenario {
+    kernel: Kernel,
+    spaces: Vec<SpaceId>,
+    specs: Vec<WorkloadSpec>,
+    region: Vpn,
+    cfg: SmpScenarioConfig,
+}
+
+impl std::fmt::Debug for MultiProgrammedScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiProgrammedScenario")
+            .field(
+                "workloads",
+                &self.specs.iter().map(|s| s.name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl MultiProgrammedScenario {
+    /// Prepares one address space per named workload, splitting ~85% of
+    /// physical memory fairly between them and pre-faulting every
+    /// footprint (the paper measures steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload name is unknown or `workloads` is empty.
+    pub fn prepare(workloads: &[&str], cfg: &SmpScenarioConfig) -> MultiProgrammedScenario {
+        assert!(!workloads.is_empty(), "need at least one workload");
+        let mem = PhysicalMemory::new(MemoryConfig::with_bytes(cfg.mem_bytes));
+        let mut kernel = Kernel::new(mem);
+        let free_bytes = kernel.mem().free_frames() * PAGE_SIZE_4K;
+        let fair_share = free_bytes * 85 / 100 / workloads.len() as u64;
+        // 1 GB-aligned virtual base; every space maps the same virtual
+        // region (separate address spaces — this is what the ASIDs tag).
+        let region = Vpn::new(1 << 18);
+        let mut spaces = Vec::new();
+        let mut specs = Vec::new();
+        for name in workloads {
+            let base = WorkloadSpec::by_name(name)
+                .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+            let mut footprint = base.footprint_bytes.min(fair_share);
+            if let Some(cap) = cfg.per_core_cap {
+                footprint = footprint.min(cap);
+            }
+            let spec = base.with_footprint(footprint.max(PAGE_SIZE_4K));
+            let space = kernel.create_space(PagingPolicy::TransparentHuge(ThsConfig::default()));
+            kernel
+                .mmap(space, region, spec.footprint_pages(), Permissions::rw_user())
+                .expect("fresh address space has no overlapping VMAs");
+            kernel.fault_all(space);
+            spaces.push(space);
+            specs.push(spec);
+        }
+        MultiProgrammedScenario {
+            kernel,
+            spaces,
+            specs,
+            region,
+            cfg: *cfg,
+        }
+    }
+
+    /// The paper's homogeneous consolidation combo: `cores` copies of
+    /// gups, the workload with the worst TLB behaviour.
+    pub fn gups_times(cores: usize, cfg: &SmpScenarioConfig) -> MultiProgrammedScenario {
+        let names = vec!["gups"; cores];
+        MultiProgrammedScenario::prepare(&names, cfg)
+    }
+
+    /// The heterogeneous combo: gups alongside graph500 (random-access
+    /// vs. pointer-chasing pressure on the shared fabric).
+    pub fn gups_graph500(cfg: &SmpScenarioConfig) -> MultiProgrammedScenario {
+        MultiProgrammedScenario::prepare(&["gups", "graph500"], cfg)
+    }
+
+    /// Number of cores (= workloads = address spaces).
+    pub fn core_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The per-core workload specs (with their final footprints).
+    pub fn specs(&self) -> &[WorkloadSpec] {
+        &self.specs
+    }
+
+    /// First page of the shared virtual region every space maps.
+    pub fn region(&self) -> Vpn {
+        self.region
+    }
+
+    /// Builds an [`SmpMachine`] whose cores all run `factory`'s TLB
+    /// design. Each core gets a clone of its space's faulted page table,
+    /// so machines for different designs replay identical system state.
+    pub fn build_machine(
+        &self,
+        factory: fn() -> TlbHierarchy,
+        llc: SharedCacheConfig,
+        model: ShootdownModel,
+    ) -> SmpMachine {
+        let cores = self
+            .specs
+            .iter()
+            .zip(&self.spaces)
+            .enumerate()
+            .map(|(i, (spec, space))| {
+                let pt = self.kernel.space(*space).page_table().clone();
+                let generator =
+                    TraceGenerator::new(spec, core_seed(self.cfg.seed, i), self.region);
+                SmpCore::new(i, factory(), pt, generator, self.region, spec.footprint_pages())
+                    .with_shootdown_interval(self.cfg.shootdown_interval)
+            })
+            .collect();
+        SmpMachine::new(cores, llc, model)
+    }
+}

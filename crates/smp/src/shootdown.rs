@@ -1,0 +1,98 @@
+//! The TLB shootdown cost model.
+//!
+//! When the OS changes a mapping (migration, compaction, unmap), every
+//! core that may cache the translation must invalidate it. The initiating
+//! core sends IPIs and spins until all remotes acknowledge; each remote
+//! takes the interrupt and sweeps its TLBs. The sweep width is where the
+//! designs differ (paper Sec. 5.1): a conventional split or COLT TLB
+//! probes a single set per level, while a MIX TLB must visit **every**
+//! set for a superpage, because mirroring may have spread its entries
+//! across all of them. [`crate::SmpMachine`] surfaces that difference as
+//! cycles through this model.
+
+use mixtlb_types::PageSize;
+
+/// Cycle costs of one shootdown, in the additive model
+/// `initiator + Σ_remotes (ipi + sets × per_set)`.
+///
+/// Defaults follow the literature's measured magnitudes (a remote
+/// shootdown IPI costs on the order of a microsecond end-to-end;
+/// per-set invalidation is a pipelined CAM/SRAM cycle or two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShootdownModel {
+    /// Fixed cost on the initiating core: trap into the kernel, build the
+    /// CPU mask, send IPIs, and wait for acknowledgements.
+    pub initiator_cycles: u64,
+    /// Fixed cost per remote core: interrupt delivery, handler entry/exit.
+    pub remote_ipi_cycles: u64,
+    /// Cost per TLB set probed during the invalidation sweep (both on the
+    /// initiator and on every remote).
+    pub per_set_cycles: u64,
+}
+
+impl Default for ShootdownModel {
+    fn default() -> ShootdownModel {
+        ShootdownModel {
+            initiator_cycles: 4_000,
+            remote_ipi_cycles: 1_500,
+            per_set_cycles: 2,
+        }
+    }
+}
+
+impl ShootdownModel {
+    /// Cost absorbed by one *remote* core whose hierarchy sweeps
+    /// `sets` TLB sets.
+    pub fn remote_cost(&self, sets: u64) -> u64 {
+        self.remote_ipi_cycles + sets * self.per_set_cycles
+    }
+
+    /// Cost paid by the *initiating* core: its fixed cost, its own sweep,
+    /// and the wait for every remote to finish (additive, modeling
+    /// serialized acknowledgement collection).
+    pub fn initiator_cost(&self, own_sets: u64, remote_sets: &[u64]) -> u64 {
+        self.initiator_cycles
+            + own_sets * self.per_set_cycles
+            + remote_sets.iter().map(|&s| self.remote_cost(s)).sum::<u64>()
+    }
+}
+
+/// Per-design sweep widths, precomputed per page size so worker threads
+/// never need to inspect another core's TLB state mid-run (the sweep
+/// width is a function of geometry, not contents).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepWidths {
+    /// Sets probed across both TLB levels, indexed by [`PageSize::encode`].
+    pub by_size: [u64; 3],
+}
+
+impl SweepWidths {
+    /// The sweep width for one size.
+    pub fn for_size(&self, size: PageSize) -> u64 {
+        self.by_size[size.encode() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_cost_model() {
+        let m = ShootdownModel {
+            initiator_cycles: 100,
+            remote_ipi_cycles: 10,
+            per_set_cycles: 2,
+        };
+        assert_eq!(m.remote_cost(80), 10 + 160);
+        // Initiator sweeps 80 sets itself and waits for two remotes.
+        assert_eq!(m.initiator_cost(80, &[80, 1]), 100 + 160 + 170 + 12);
+    }
+
+    #[test]
+    fn default_orders_of_magnitude() {
+        let m = ShootdownModel::default();
+        assert!(m.initiator_cycles > m.remote_ipi_cycles);
+        assert!(m.remote_ipi_cycles > m.per_set_cycles);
+    }
+}

@@ -1,0 +1,105 @@
+//! Parallel replay must be reproducible: running one OS thread per core
+//! and running the cores back-to-back on one thread must produce
+//! bit-identical per-core statistics. The only interleaving-dependent
+//! quantity — shared-LLC stall cycles — is isolated in
+//! `CoreStats::llc_stall_cycles` and excluded here by construction.
+
+use mixtlb_cache::SharedCacheConfig;
+use mixtlb_sim::designs;
+use mixtlb_sim::TlbHierarchy;
+use mixtlb_smp::{CoreStats, MultiProgrammedScenario, ShootdownModel, SmpScenarioConfig};
+use mixtlb_types::PageSize;
+
+fn small_cfg(shootdown_interval: u64) -> SmpScenarioConfig {
+    SmpScenarioConfig {
+        mem_bytes: 256 << 20,
+        per_core_cap: Some(8 << 20),
+        seed: 42,
+        shootdown_interval,
+    }
+}
+
+/// The deterministic view of a core's counters: everything except the
+/// LLC stalls.
+fn deterministic(stats: CoreStats) -> CoreStats {
+    CoreStats {
+        llc_stall_cycles: 0,
+        ..stats
+    }
+}
+
+fn assert_bit_identical(factory: fn() -> TlbHierarchy, shootdown_interval: u64) {
+    let cfg = small_cfg(shootdown_interval);
+    let scenario_a = MultiProgrammedScenario::gups_times(4, &cfg);
+    let scenario_b = MultiProgrammedScenario::gups_times(4, &cfg);
+    let mut parallel =
+        scenario_a.build_machine(factory, SharedCacheConfig::tiny(), ShootdownModel::default());
+    let mut serial =
+        scenario_b.build_machine(factory, SharedCacheConfig::tiny(), ShootdownModel::default());
+    let par = parallel.run_parallel(20_000);
+    let ser = serial.run_serial(20_000);
+    assert_eq!(par.cores.len(), 4);
+    assert_eq!(ser.cores.len(), 4);
+    for (p, s) in par.cores.iter().zip(&ser.cores) {
+        assert_eq!(p.id, s.id);
+        assert_eq!(p.asid, s.asid);
+        assert_eq!(
+            deterministic(p.stats),
+            deterministic(s.stats),
+            "core {} CoreStats diverged between parallel and serial replay",
+            p.id
+        );
+        assert_eq!(p.l1, s.l1, "core {} L1 TlbStats diverged", p.id);
+        assert_eq!(p.l2, s.l2, "core {} L2 TlbStats diverged", p.id);
+        assert_eq!(
+            p.shootdown_cycles_absorbed, s.shootdown_cycles_absorbed,
+            "core {} absorbed shootdown cycles diverged",
+            p.id
+        );
+        // The replay actually did work.
+        assert_eq!(p.stats.accesses, 20_000);
+        assert!(p.l1.lookups >= 20_000);
+    }
+    if shootdown_interval > 0 {
+        assert!(par.total_shootdowns() > 0, "cadence should fire shootdowns");
+        assert!(par.total_shootdown_cycles() > 0);
+    }
+}
+
+#[test]
+fn mix_parallel_matches_serial_with_shootdowns() {
+    assert_bit_identical(designs::mix, 1_000);
+}
+
+#[test]
+fn split_parallel_matches_serial_with_shootdowns() {
+    assert_bit_identical(designs::haswell_split, 1_000);
+}
+
+#[test]
+fn colt_parallel_matches_serial_without_shootdowns() {
+    assert_bit_identical(designs::colt, 0);
+}
+
+/// The paper's Sec. 5.1 asymmetry: a MIX TLB must sweep every set to
+/// shoot down a superpage, a split TLB only the indexed sets.
+#[test]
+fn mix_sweeps_strictly_more_sets_than_split() {
+    let cfg = small_cfg(0);
+    let scenario = MultiProgrammedScenario::gups_times(2, &cfg);
+    let mix =
+        scenario.build_machine(designs::mix, SharedCacheConfig::tiny(), ShootdownModel::default());
+    let split = scenario.build_machine(
+        designs::haswell_split,
+        SharedCacheConfig::tiny(),
+        ShootdownModel::default(),
+    );
+    for size in [PageSize::Size2M, PageSize::Size1G] {
+        assert!(
+            mix.global_sweep_width(size) > split.global_sweep_width(size),
+            "{size:?}: MIX swept {} sets, split {}",
+            mix.global_sweep_width(size),
+            split.global_sweep_width(size)
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! N-core shootdown coherence: after the OS migrates a page and runs the
+//! shootdown protocol, **every** core must serve the new frame — no core
+//! may ever return a stale translation out of its TLBs. This lifts the
+//! single-TLB property `remap_after_shootdown_serves_the_new_frame`
+//! (mixtlb-core's mix.rs) to the whole machine.
+
+use mixtlb_cache::SharedCacheConfig;
+use mixtlb_sim::designs;
+use mixtlb_sim::TlbHierarchy;
+use mixtlb_smp::{MultiProgrammedScenario, ShootdownModel, SmpScenarioConfig};
+use mixtlb_trace::TraceEvent;
+use mixtlb_types::{AccessKind, VirtAddr, Vpn};
+use proptest::prelude::*;
+
+/// Pages in each core's 8 MB footprint.
+const FOOTPRINT_PAGES: u64 = (8 << 20) / 4096;
+
+fn cfg(seed: u64) -> SmpScenarioConfig {
+    SmpScenarioConfig {
+        mem_bytes: 256 << 20,
+        per_core_cap: Some(8 << 20),
+        seed,
+        shootdown_interval: 0,
+    }
+}
+
+fn design(index: usize) -> (&'static str, fn() -> TlbHierarchy) {
+    match index % 3 {
+        0 => ("mix", designs::mix as fn() -> TlbHierarchy),
+        1 => ("split", designs::haswell_split),
+        _ => ("colt", designs::colt),
+    }
+}
+
+fn event(vpn: Vpn, pc: u64) -> TraceEvent {
+    TraceEvent {
+        pc,
+        va: VirtAddr::from_page(vpn, 0x123),
+        kind: AccessKind::Load,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Warm every core's TLBs on a page, migrate it with a broadcast
+    /// shootdown, and check every core immediately serves the new frame
+    /// (the migrated frame differs in exactly bit 33 of the PFN, i.e.
+    /// bit 45 of the physical address).
+    #[test]
+    fn every_core_serves_the_new_frame_after_shootdown(
+        cores in 2usize..=4,
+        design_idx in 0usize..3,
+        page in 0u64..FOOTPRINT_PAGES,
+        initiator_sel in 0usize..16,
+        seed in 0u64..1_000,
+    ) {
+        let (name, factory) = design(design_idx);
+        let scenario = MultiProgrammedScenario::gups_times(cores, &cfg(seed));
+        let mut machine = scenario.build_machine(
+            factory,
+            SharedCacheConfig::tiny(),
+            ShootdownModel::default(),
+        );
+        let vpn = Vpn::new(scenario.region().raw() + page);
+        let ev = event(vpn, 0x40_1000);
+
+        // Warm: every core caches the translation in its TLBs.
+        let mut before = Vec::new();
+        for core in 0..cores {
+            let pa = machine.access(core, &ev);
+            prop_assert!(pa.is_some(), "{name}: pre-faulted page must translate");
+            // Touch again: now it is an L1 hit for sure.
+            prop_assert_eq!(machine.access(core, &ev), pa);
+            before.push(pa.unwrap());
+        }
+
+        // Migrate + shootdown from an arbitrary initiator.
+        let initiator = initiator_sel % cores;
+        let size = machine.broadcast_remap(initiator, vpn);
+        prop_assert!(size.is_some(), "{name}: page was mapped");
+
+        // Every core — initiator and remotes alike — serves the new frame.
+        for (core, old_pa) in before.iter().enumerate() {
+            let pa = machine.access(core, &ev);
+            prop_assert!(pa.is_some());
+            let pa = pa.unwrap();
+            prop_assert_ne!(
+                pa, *old_pa,
+                "{}: core {} returned the stale frame after the shootdown",
+                name, core
+            );
+            prop_assert_eq!(
+                pa.raw(),
+                old_pa.raw() ^ (1 << 45),
+                "{}: core {} translated to an unexpected frame",
+                name, core
+            );
+        }
+
+        // The initiator paid the machine-wide cost; remotes absorbed IPIs.
+        let report = machine.run_serial(0);
+        prop_assert_eq!(report.cores[initiator].stats.shootdowns_initiated, 1);
+        prop_assert!(report.cores[initiator].stats.shootdown_cycles_initiated > 0);
+        for core in 0..cores {
+            if core != initiator {
+                prop_assert!(
+                    report.cores[core].shootdown_cycles_absorbed > 0,
+                    "{}: remote {} absorbed no shootdown cycles",
+                    name, core
+                );
+            }
+        }
+    }
+}

@@ -139,7 +139,7 @@ impl TraceGenerator {
             AccessPattern::Stencil { row_bytes } => {
                 // Sweep forward; every third access reads the previous row.
                 self.cursor = (self.cursor + 8) % self.len;
-                if self.cursor % 24 == 0 && self.cursor >= row_bytes {
+                if self.cursor.is_multiple_of(24) && self.cursor >= row_bytes {
                     self.cursor - row_bytes
                 } else {
                     self.cursor

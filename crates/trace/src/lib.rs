@@ -38,8 +38,10 @@
 
 mod file;
 mod generator;
+mod percore;
 mod workloads;
 
 pub use file::TraceFile;
 pub use generator::{TraceEvent, TraceGenerator};
+pub use percore::{split_partitioned, split_shared, CoreStream};
 pub use workloads::{AccessPattern, WorkloadClass, WorkloadSpec};

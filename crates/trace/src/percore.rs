@@ -1,0 +1,184 @@
+//! Splitting one logical workload into per-core trace streams.
+//!
+//! The SMP engine replays one stream per core. Two splits cover the
+//! paper's multicore evaluation shapes:
+//!
+//! * **Shared** — every core walks the *same* footprint with its own
+//!   deterministic RNG stream, like the threads of one multithreaded
+//!   process (graph500's traversal workers). Cores contend for the same
+//!   translations, so TLB shootdowns hit hot entries everywhere.
+//! * **Partitioned** — the footprint is divided into per-core slices,
+//!   like a data-parallel job (GUPS ranks). Cores miss on disjoint pages
+//!   and only the shared LLC couples them.
+//!
+//! Both splits are deterministic: each core's stream is a pure function
+//! of `(spec, seed, core)`, never of the other cores' progress — the
+//! property that lets parallel replay produce bit-identical per-core
+//! statistics in any interleaving.
+
+use mixtlb_types::{Vpn, PAGE_SIZE_4K};
+
+use crate::generator::TraceGenerator;
+use crate::workloads::WorkloadSpec;
+
+/// One core's share of a split workload: where its pages live and the
+/// deterministic event stream that touches them.
+#[derive(Debug, Clone)]
+pub struct CoreStream {
+    /// The owning core's index.
+    pub core: usize,
+    /// First 4 KB page of the region this stream touches.
+    pub region_base: Vpn,
+    /// Bytes of footprint reachable from `region_base`.
+    pub footprint_bytes: u64,
+    /// The event stream (infinite; take as many events as needed).
+    pub generator: TraceGenerator,
+}
+
+/// Per-core seed derivation: decorrelates the streams while keeping each
+/// one a pure function of the base seed and core index.
+fn core_seed(seed: u64, core: usize) -> u64 {
+    seed ^ (core as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Splits `spec` into `cores` streams over one **shared** footprint at
+/// `region_base`. Every stream covers the whole footprint.
+///
+/// # Panics
+///
+/// Panics when `cores` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_trace::{split_shared, WorkloadSpec};
+/// use mixtlb_types::Vpn;
+///
+/// let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(16 << 20);
+/// let streams = split_shared(&spec, 42, Vpn::new(0x10_0000), 4);
+/// assert_eq!(streams.len(), 4);
+/// assert!(streams.iter().all(|s| s.region_base == Vpn::new(0x10_0000)));
+/// ```
+pub fn split_shared(
+    spec: &WorkloadSpec,
+    seed: u64,
+    region_base: Vpn,
+    cores: usize,
+) -> Vec<CoreStream> {
+    assert!(cores > 0, "at least one core is required");
+    (0..cores)
+        .map(|core| CoreStream {
+            core,
+            region_base,
+            footprint_bytes: spec.footprint_bytes,
+            generator: TraceGenerator::new(spec, core_seed(seed, core), region_base),
+        })
+        .collect()
+}
+
+/// Splits `spec` into `cores` streams over **disjoint** per-core slices
+/// of the footprint, each slice aligned to a 2 MB superpage boundary so
+/// the OS allocator can back any slice with superpages.
+///
+/// # Panics
+///
+/// Panics when `cores` is zero or the footprint is too small to give
+/// every core at least one 2 MB slice.
+///
+/// # Examples
+///
+/// ```
+/// use mixtlb_trace::{split_partitioned, WorkloadSpec};
+/// use mixtlb_types::Vpn;
+///
+/// let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(16 << 20);
+/// let streams = split_partitioned(&spec, 42, Vpn::new(0x10_0000), 4);
+/// // Slices tile the footprint without overlap.
+/// assert_eq!(streams[1].region_base.raw(),
+///            streams[0].region_base.raw() + streams[0].footprint_bytes / 4096);
+/// ```
+pub fn split_partitioned(
+    spec: &WorkloadSpec,
+    seed: u64,
+    region_base: Vpn,
+    cores: usize,
+) -> Vec<CoreStream> {
+    assert!(cores > 0, "at least one core is required");
+    const ALIGN: u64 = 2 << 20;
+    let slice = (spec.footprint_bytes / cores as u64) / ALIGN * ALIGN;
+    assert!(
+        slice >= ALIGN,
+        "footprint {} B cannot give {cores} cores a 2 MB-aligned slice each",
+        spec.footprint_bytes
+    );
+    (0..cores)
+        .map(|core| {
+            let base = Vpn::new(region_base.raw() + core as u64 * slice / PAGE_SIZE_4K);
+            let core_spec = spec.clone().with_footprint(slice);
+            CoreStream {
+                core,
+                region_base: base,
+                footprint_bytes: slice,
+                generator: TraceGenerator::new(&core_spec, core_seed(seed, core), base),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceEvent;
+
+    fn take(stream: &CoreStream, n: usize) -> Vec<TraceEvent> {
+        stream.generator.clone().take(n).collect()
+    }
+
+    #[test]
+    fn shared_streams_cover_one_region_deterministically() {
+        let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(8 << 20);
+        let a = split_shared(&spec, 7, Vpn::new(0x10_0000), 4);
+        let b = split_shared(&spec, 7, Vpn::new(0x10_0000), 4);
+        for core in 0..4 {
+            assert_eq!(take(&a[core], 200), take(&b[core], 200), "core {core}");
+        }
+        // Streams are decorrelated across cores.
+        assert_ne!(take(&a[0], 200), take(&a[1], 200));
+    }
+
+    #[test]
+    fn shared_streams_are_independent_of_core_count() {
+        // Core 1's stream is the same whether the machine has 2 or 8
+        // cores — the determinism property parallel replay relies on.
+        let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(8 << 20);
+        let two = split_shared(&spec, 7, Vpn::new(0x10_0000), 2);
+        let eight = split_shared(&spec, 7, Vpn::new(0x10_0000), 8);
+        assert_eq!(take(&two[1], 300), take(&eight[1], 300));
+    }
+
+    #[test]
+    fn partitioned_slices_are_disjoint_and_aligned() {
+        let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(32 << 20);
+        let streams = split_partitioned(&spec, 7, Vpn::new(0x10_0000), 4);
+        for s in &streams {
+            assert_eq!(s.footprint_bytes % (2 << 20), 0);
+            assert_eq!(s.region_base.raw() % 512, 0, "2 MB alignment");
+            let lo = s.region_base.raw() * PAGE_SIZE_4K;
+            let hi = lo + s.footprint_bytes;
+            for e in take(s, 2_000) {
+                assert!(e.va.raw() >= lo && e.va.raw() < hi, "core {} strayed", s.core);
+            }
+        }
+        for pair in streams.windows(2) {
+            let end = pair[0].region_base.raw() + pair[0].footprint_bytes / PAGE_SIZE_4K;
+            assert_eq!(end, pair[1].region_base.raw(), "slices must tile");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 MB-aligned slice")]
+    fn partitioned_rejects_tiny_footprints() {
+        let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(4 << 20);
+        let _ = split_partitioned(&spec, 7, Vpn::new(0), 4);
+    }
+}

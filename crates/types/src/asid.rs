@@ -1,0 +1,89 @@
+//! Address-space identifiers (x86 PCID / ARM ASID).
+//!
+//! An [`Asid`] tags TLB entries with the address space that installed them,
+//! so a context switch no longer has to flush the TLB: entries of the
+//! outgoing space stay resident and are simply ignored by lookups of the
+//! incoming space. x86 calls the 12-bit variant a PCID; ARM and RISC-V call
+//! it an ASID. The simulator follows the hardware convention that ASID `0`
+//! means *untagged*: a device that has never been given a real ASID behaves
+//! exactly as before the API existed (global entries, full flushes on
+//! context switch).
+
+/// An address-space identifier (PCID). `Asid::UNTAGGED` (zero) denotes the
+/// legacy untagged mode; real address spaces use `1..=4095` (x86 PCIDs are
+/// 12-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// Number of distinct ASID values hardware tags can hold (12-bit PCID).
+    pub const CAPACITY: u16 = 4096;
+
+    /// The untagged / global address space (legacy behaviour).
+    pub const UNTAGGED: Asid = Asid(0);
+
+    /// Creates an ASID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not fit the 12-bit PCID space.
+    pub const fn new(raw: u16) -> Asid {
+        assert!(raw < Asid::CAPACITY, "ASID out of the 12-bit PCID range");
+        Asid(raw)
+    }
+
+    /// The raw identifier.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// `true` for the untagged/global pseudo-ASID.
+    pub const fn is_untagged(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` when an entry tagged `self` is visible to a lookup from
+    /// `other`: untagged entries are global, tagged entries require an
+    /// exact match.
+    pub const fn matches(self, other: Asid) -> bool {
+        self.0 == 0 || other.0 == 0 || self.0 == other.0
+    }
+}
+
+impl core::fmt::Display for Asid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_untagged() {
+            write!(f, "asid#global")
+        } else {
+            write!(f, "asid#{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Asid;
+
+    #[test]
+    fn untagged_is_global() {
+        let a = Asid::new(3);
+        let b = Asid::new(7);
+        assert!(Asid::UNTAGGED.matches(a));
+        assert!(a.matches(Asid::UNTAGGED));
+        assert!(a.matches(a));
+        assert!(!a.matches(b));
+        assert!(Asid::default().is_untagged());
+    }
+
+    #[test]
+    #[should_panic(expected = "12-bit")]
+    fn oversized_asid_panics() {
+        let _ = Asid::new(4096);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Asid::UNTAGGED.to_string(), "asid#global");
+        assert_eq!(Asid::new(42).to_string(), "asid#42");
+    }
+}

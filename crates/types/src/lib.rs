@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod asid;
 mod page;
 mod perms;
 mod pte;
 
 pub use addr::{PhysAddr, VirtAddr};
+pub use asid::Asid;
 pub use page::{PageSize, Pfn, Vpn, PAGE_SHIFT, PAGE_SIZE_4K};
 pub use perms::{AccessKind, Permissions};
 pub use pte::{Translation, TranslationError};

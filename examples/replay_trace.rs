@@ -7,7 +7,6 @@
 //! cargo run --release --example replay_trace [workload]
 //! ```
 
-use mixtlb::core::TlbDevice;
 use mixtlb::os::{Kernel, PagingPolicy, ThsConfig};
 use mixtlb::mem::{MemoryConfig, PhysicalMemory};
 use mixtlb::sim::{designs, TranslationEngine, WalkBackend};
