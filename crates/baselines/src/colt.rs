@@ -152,6 +152,7 @@ impl TlbDevice for CoalescedSizeTlb {
             if covers {
                 self.tick += 1;
                 self.stamps[slot] = self.tick;
+                // lint: allow(panic) — slot was just found occupied by the probe above
                 let entry = self.slots[slot].as_mut().expect("slot is valid");
                 let singleton = entry.bits.count_ones() == 1;
                 let mut dirty_microop = false;
@@ -243,6 +244,7 @@ impl TlbDevice for CoalescedSizeTlb {
             let slot = set * self.config.ways + way;
             self.tick += 1;
             self.stamps[slot] = self.tick;
+            // lint: allow(panic) — slot was just found occupied by the probe above
             let entry = self.slots[slot].as_mut().expect("slot is valid");
             if entry.anchor_pfn == anchor && entry.perms == requested.perms {
                 let before = entry.bits.count_ones();
@@ -270,6 +272,7 @@ impl TlbDevice for CoalescedSizeTlb {
             .unwrap_or_else(|| {
                 (0..ways)
                     .min_by_key(|&w| self.stamps[set * ways + w])
+                    // lint: allow(panic) — ways >= 1 by construction, the min always exists
                     .expect("at least one way")
             });
         let slot = set * ways + way;
@@ -299,6 +302,7 @@ impl TlbDevice for CoalescedSizeTlb {
         if let Some(way) = self.find(set, base) {
             let slot = set * self.config.ways + way;
             let empty = {
+                // lint: allow(panic) — slot occupancy established by the surrounding branch
                 let entry = self.slots[slot].as_mut().expect("slot is valid");
                 entry.bits &= !(1 << pos);
                 entry.bits == 0

@@ -138,6 +138,7 @@ impl SkewTlb {
             if hit {
                 self.tick += 1;
                 self.stamps[way][idx] = self.tick;
+                // lint: allow(panic) — index returned by the hit probe, entry is occupied
                 let entry = self.slots[way][idx].as_mut().expect("hit slot is valid");
                 let mut dirty_microop = false;
                 if kind.is_store() && !entry.dirty {
@@ -220,6 +221,7 @@ impl TlbDevice for SkewTlb {
             })
             .min()
             .map(|(_, way, idx)| (way, idx))
+            // lint: allow(panic) — every size class owns >= 1 way, the candidate list is never empty
             .expect("at least one way per size");
         if self.slots[way][idx].is_some() {
             self.stats.evictions += 1;

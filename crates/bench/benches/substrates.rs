@@ -2,6 +2,8 @@
 //! demand faults (THS vs 4 KB), buddy allocation, memhog fragmentation,
 //! and trace generation. These size the simulator, not modeled hardware.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use mixtlb_mem::{FrameKind, Memhog, MemhogConfig, MemoryConfig, PhysicalMemory};

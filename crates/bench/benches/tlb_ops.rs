@@ -3,6 +3,8 @@
 //! *simulator's* speed (useful when sizing experiments), not modeled
 //! hardware latency — hardware costs are what `TlbStats` counts.
 
+#![forbid(unsafe_code)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use mixtlb_baselines::{colt_split, PredictiveHashRehash, SkewTlb, SkewTlbConfig};

@@ -8,6 +8,8 @@
 //! * superpage bundle size;
 //! * the paging-structure cache (on vs off).
 
+#![forbid(unsafe_code)]
+
 use mixtlb_bench::{banner, signed_pct, Scale, Table};
 use mixtlb_core::{CoalesceKind, DirtyPolicy, FillMerge, MirrorPolicy, MixTlb, MixTlbConfig};
 use mixtlb_sim::{designs, improvement_percent, NativeScenario, PolicyChoice, TlbHierarchy};

@@ -15,6 +15,8 @@
 //!   the switch; designs without tag support still flush, exactly as the
 //!   hardware would.
 
+#![forbid(unsafe_code)]
+
 use mixtlb_bench::{banner, signed_pct, Scale, Table};
 use mixtlb_sim::{designs, improvement_percent, NativeScenario, PolicyChoice};
 use mixtlb_trace::WorkloadSpec;

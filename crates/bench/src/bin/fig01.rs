@@ -4,6 +4,8 @@
 //! graph500, and memcached under 4 KB-only, 2 MB-only, 1 GB-only, and
 //! mixed page-size policies.
 
+#![forbid(unsafe_code)]
+
 use mixtlb_bench::{banner, pct, Scale, Table};
 use mixtlb_sim::{designs, NativeScenario, PolicyChoice};
 use mixtlb_trace::WorkloadSpec;

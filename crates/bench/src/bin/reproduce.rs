@@ -5,6 +5,8 @@
 //! MIXTLB_SCALE=std cargo run --release -p mixtlb-bench --bin reproduce
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 fn main() {

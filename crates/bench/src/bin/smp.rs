@@ -13,6 +13,8 @@
 //! * parallel-vs-serial wall-clock speedup of the replay itself
 //!   (hardware-dependent; on a single-CPU container it hovers near 1×).
 
+#![forbid(unsafe_code)]
+
 use mixtlb_bench::{banner, Scale, Table};
 use mixtlb_cache::SharedCacheConfig;
 use mixtlb_sim::designs;

@@ -7,6 +7,8 @@
 //! tracectl verify <workload> <events> <path> [footprint_mb] [seed]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashSet;
 use std::process::exit;
 

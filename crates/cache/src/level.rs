@@ -85,6 +85,7 @@ impl CacheLevel {
         // Miss: fill the LRU way.
         let victim = (0..ways)
             .min_by_key(|&w| self.stamps[base + w])
+            // lint: allow(panic) — ways >= 1 by construction, the min always exists
             .expect("cache has at least one way");
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.tick;

@@ -68,6 +68,7 @@ impl PageWalkCache {
                 .enumerate()
                 .min_by_key(|(_, (_, stamp))| *stamp)
                 .map(|(i, _)| i)
+                // lint: allow(panic) — capacity is validated > 0 at construction
                 .expect("capacity > 0");
             self.entries[victim] = (key, self.tick);
         }

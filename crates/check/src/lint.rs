@@ -1,0 +1,739 @@
+//! The token-level workspace lint driver (`mixtlb-check --lint`).
+//!
+//! `rustc` and `clippy` cannot see *project* rules — conventions whose
+//! violation compiles fine but breaks the repository's correctness or
+//! reproducibility story. This module enforces them by scanning the
+//! workspace's `.rs` files at the token level (comment-, string- and
+//! `#[cfg(test)]`-aware, but deliberately not a full parser: the rules are
+//! syntactic and the scanner must stay dependency-free).
+//!
+//! # Rules
+//!
+//! | rule | requirement | scope |
+//! |------|-------------|-------|
+//! | `relaxed-ordering` | every `Ordering::Relaxed` carries a written justification | lib + bin |
+//! | `panic` | no `unwrap()` / `expect()` / `panic!` without justification | lib |
+//! | `invalidate-sets-override` | every `impl TlbDevice for …` overrides `invalidate_sets` | lib |
+//! | `geometry-literal` | no hard-coded page-geometry constants (4096, 2 MB, 1 GB, 262144 pages) outside `mixtlb-types` | lib |
+//! | `forbid-unsafe` | every crate-root file carries `#![forbid(unsafe_code)]` (or a documented `#![deny(unsafe_code)]`) | crate roots |
+//!
+//! `relaxed-ordering` exists because the model checker explores
+//! interleavings under sequential consistency only: a `Relaxed` choice is
+//! exactly the thing it *cannot* validate, so each one must say why it is
+//! safe. `invalidate-sets-override` guards the paper's Sec. 5.1 cost
+//! model: a `TlbDevice` that forgets to report its sweep footprint
+//! silently prices MIX shootdowns as one set.
+//!
+//! # Suppressions
+//!
+//! A finding is suppressed by a marker comment on the same or the
+//! preceding line:
+//!
+//! ```text
+//! // lint: allow(relaxed-ordering) — pure statistics counter; only
+//! // atomicity matters, no ordering with any other access.
+//! self.hits.fetch_add(1, Ordering::Relaxed);
+//! ```
+//!
+//! The marker is the allowlist: `--lint` output stays empty only while
+//! every exception carries its justification in the source. A whole file
+//! can opt out of one rule with `// lint: allow-file(<rule>) — reason`.
+//!
+//! Files under `tests/` (and `#[cfg(test)]` blocks anywhere) are exempt
+//! from all rules except `forbid-unsafe`; vendored `compat/` stubs are
+//! exempt from everything except `forbid-unsafe` (they mimic external
+//! APIs, including their panicking contracts); binaries and benches may
+//! panic (a CLI's `main` is its own error boundary) but must justify
+//! `Relaxed` orderings like any other concurrent code.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a file participates in the build (decides which rules apply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all rules apply.
+    Lib,
+    /// Binary / bench code: may panic, everything else applies.
+    Bin,
+    /// Integration-test code: only `forbid-unsafe` (for crate roots).
+    Test,
+    /// Vendored offline stubs under `compat/`: only `forbid-unsafe`.
+    Compat,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule's identifier.
+    pub rule: &'static str,
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Result of linting a file set.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every unsuppressed finding, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    /// `true` when no findings remain.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// All rule identifiers (for `--lint --list-rules` and the self-tests).
+pub const RULES: [&str; 5] = [
+    "relaxed-ordering",
+    "panic",
+    "invalidate-sets-override",
+    "geometry-literal",
+    "forbid-unsafe",
+];
+
+/// Page-geometry values that must come from `mixtlb-types`, not literals:
+/// 4 KB / 2 MB / 1 GB page bytes and the 4 KB-pages-per-1 GB count.
+const GEOMETRY_VALUES: [u64; 4] = [4096, 2 * 1024 * 1024, 1024 * 1024 * 1024, 262_144]; // lint: allow(geometry-literal) — this rule's own table
+
+/// Classifies a workspace-relative path.
+pub fn classify(path: &Path) -> FileKind {
+    let has = |name: &str| path.iter().any(|c| c == name);
+    if has("compat") {
+        FileKind::Compat
+    } else if has("tests") {
+        FileKind::Test
+    } else if has("bin") || has("benches") || has("examples") || path.ends_with("main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Is this file the root of a compilation target (where inner attributes
+/// like `#![forbid(unsafe_code)]` belong)?
+pub fn is_crate_root(path: &Path) -> bool {
+    if path.ends_with("src/lib.rs") || path.ends_with("src/main.rs") {
+        return true;
+    }
+    let parent_is = |name: &str| {
+        path.parent()
+            .and_then(Path::file_name)
+            .is_some_and(|p| p == name)
+    };
+    (parent_is("bin") || parent_is("benches") || parent_is("examples"))
+        && path.extension().is_some_and(|e| e == "rs")
+}
+
+/// Lints one file's source with an explicit classification (the fixture
+/// self-tests drive this directly).
+pub fn lint_source(kind: FileKind, path: &Path, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = source.lines().collect();
+    let masked = mask_code(source);
+    let code = mask_test_blocks(&masked);
+
+    let allowed = |rule: &str, line: usize| is_suppressed(&lines, source, rule, line);
+    let mut push = |rule: &'static str, line: usize, message: String| {
+        if !allowed(rule, line) {
+            findings.push(Finding {
+                rule,
+                path: path.to_path_buf(),
+                line,
+                message,
+            });
+        }
+    };
+
+    if is_crate_root(path) {
+        // Checked against *masked* text: mentioning the attribute in a
+        // comment must not satisfy the rule.
+        let ok = masked.contains("#![forbid(unsafe_code)]")
+            || masked.contains("#![deny(unsafe_code)]");
+        if !ok {
+            push(
+                "forbid-unsafe",
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]` (use \
+                 `#![deny(unsafe_code)]` plus a justification for a \
+                 documented exception)"
+                    .to_owned(),
+            );
+        }
+    }
+
+    if matches!(kind, FileKind::Test | FileKind::Compat) {
+        return findings;
+    }
+
+    // relaxed-ordering: lib + bin.
+    for (line, col) in find_all(&code, "Ordering::Relaxed") {
+        let _ = col;
+        push(
+            "relaxed-ordering",
+            line,
+            "`Ordering::Relaxed` needs a written justification — the model \
+             checker validates interleavings under sequential consistency \
+             only, so relaxed choices are on you (add `// lint: \
+             allow(relaxed-ordering) — why it is safe`)"
+                .to_owned(),
+        );
+    }
+
+    // panic: lib only.
+    if kind == FileKind::Lib {
+        for (line, what) in find_panic_sites(&code) {
+            push(
+                "panic",
+                line,
+                format!(
+                    "`{what}` in library code — return an error or justify \
+                     with `// lint: allow(panic) — why it cannot fire`"
+                ),
+            );
+        }
+    }
+
+    // invalidate-sets-override: lib only.
+    if kind == FileKind::Lib {
+        for (line, body) in impl_blocks(&code, "TlbDevice") {
+            if !body.contains("fn invalidate_sets") {
+                push(
+                    "invalidate-sets-override",
+                    line,
+                    "`impl TlbDevice` does not override `invalidate_sets`: \
+                     the default prices every shootdown at one set, silently \
+                     mis-costing mirrored designs (paper Sec. 5.1)"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+
+    // geometry-literal: lib only, outside mixtlb-types.
+    let in_types = path.iter().any(|c| c == "types");
+    if kind == FileKind::Lib && !in_types {
+        for (line, value, text) in numeric_literals(&code) {
+            if GEOMETRY_VALUES.contains(&value) {
+                push(
+                    "geometry-literal",
+                    line,
+                    format!(
+                        "hard-coded page-geometry constant `{text}` (= {value}) — \
+                         use the named constants / `PageSize` accessors from \
+                         `mixtlb-types`"
+                    ),
+                );
+            }
+        }
+    }
+
+    findings
+}
+
+/// Lints one file from disk, classifying it by path.
+pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
+    let source = fs::read_to_string(path)?;
+    Ok(lint_source(classify(path), path, &source))
+}
+
+/// Walks the workspace at `root` and lints every `.rs` file outside
+/// `target/` and VCS metadata.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = fs::read_to_string(&path)?;
+        report
+            .findings
+            .extend(lint_source(classify(&rel), &rel, &source));
+        report.files_checked += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: comment/string masking, test-block masking, token helpers.
+// ---------------------------------------------------------------------------
+
+/// Replaces comments, string literals and char literals with spaces
+/// (preserving byte offsets and newlines) so rules never fire on prose.
+fn mask_code(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = source.as_bytes().to_vec();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in &mut out[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = source[i..]
+                    .find('\n')
+                    .map(|o| i + o)
+                    .unwrap_or(bytes.len());
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, as in Rust.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j.min(bytes.len()));
+                i = j;
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) => {
+                // Raw string r"…" / r#"…"# (any hash count).
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) != Some(&b'"') {
+                    i += 1;
+                    continue;
+                }
+                j += 1;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while j < bytes.len() {
+                    if bytes[j..].starts_with(&closer) {
+                        j += closer.len();
+                        break;
+                    }
+                    j += 1;
+                }
+                blank(&mut out, i, j.min(bytes.len()));
+                i = j;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                blank(&mut out, i, j.min(bytes.len()));
+                i = j;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes with `'`
+                // within a few bytes; a lifetime never does.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    // Escaped char: find the next quote.
+                    source[i + 2..].find('\'').map(|o| i + 2 + o)
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    Some(i + 2)
+                } else {
+                    None // lifetime
+                };
+                match close {
+                    Some(end) => {
+                        blank(&mut out, i, end + 1);
+                        i = end + 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The masking only writes ASCII spaces over non-newline bytes, so the
+    // result stays valid UTF-8 except where a multi-byte char was partially
+    // blanked — blank runs are whole literals/comments, so boundaries are
+    // char boundaries. Rebuild losslessly.
+    String::from_utf8(out).unwrap_or_else(|e| {
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    })
+}
+
+/// Blanks `#[cfg(test)]`-guarded items (brace-matched from the attribute)
+/// in already comment-masked code.
+fn mask_test_blocks(code: &str) -> String {
+    let mut out = code.as_bytes().to_vec();
+    let mut search = 0;
+    while let Some(off) = code[search..].find("#[cfg(test)]") {
+        let at = search + off;
+        // Find the first `{` after the attribute and match braces.
+        let Some(open_rel) = code[at..].find('{') else { break };
+        let open = at + open_rel;
+        let mut depth = 0usize;
+        let mut end = code.len();
+        for (j, b) in code.as_bytes().iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for b in &mut out[at..end] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        search = end;
+    }
+    String::from_utf8(out).unwrap_or_else(|e| {
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    })
+}
+
+/// 1-based line number of a byte offset.
+fn line_of(code: &str, offset: usize) -> usize {
+    code[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+/// Every occurrence of `needle` in `code` as `(line, column)`.
+fn find_all(code: &str, needle: &str) -> Vec<(usize, usize)> {
+    let mut hits = Vec::new();
+    let mut search = 0;
+    while let Some(off) = code[search..].find(needle) {
+        let at = search + off;
+        let line_start = code[..at].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        hits.push((line_of(code, at), at - line_start + 1));
+        search = at + needle.len();
+    }
+    hits
+}
+
+/// `unwrap()` / `expect()` method calls and `panic!` invocations, as
+/// `(line, what)`. `unwrap_or`, `unwrap_or_else` etc. do not count — they
+/// are the *fix*.
+fn find_panic_sites(code: &str) -> Vec<(usize, &'static str)> {
+    let bytes = code.as_bytes();
+    let mut sites = Vec::new();
+    for (what, label) in [("unwrap", "unwrap()"), ("expect", "expect()")] {
+        for (at, _) in match_indices_word(code, what) {
+            // Must be a method call: preceded by `.`, followed by `(`.
+            let before = code[..at].trim_end();
+            if !before.ends_with('.') {
+                continue;
+            }
+            let mut j = at + what.len();
+            while bytes.get(j) == Some(&b' ') {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'(') {
+                sites.push((line_of(code, at), label));
+            }
+        }
+    }
+    for (at, _) in match_indices_word(code, "panic") {
+        let mut j = at + "panic".len();
+        while bytes.get(j) == Some(&b' ') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'!') {
+            sites.push((line_of(code, at), "panic!"));
+        }
+    }
+    sites.sort_by_key(|&(line, _)| line);
+    sites
+}
+
+/// Occurrences of `word` with identifier boundaries on both sides.
+fn match_indices_word(code: &str, word: &str) -> Vec<(usize, usize)> {
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(off) = code[search..].find(word) {
+        let at = search + off;
+        let ok_before = at == 0 || !is_ident(bytes[at - 1]);
+        let after = at + word.len();
+        let ok_after = after >= bytes.len() || !is_ident(bytes[after]);
+        if ok_before && ok_after {
+            out.push((at, after));
+        }
+        search = at + word.len();
+    }
+    out
+}
+
+/// `impl … <trait_name> for …` blocks as `(line, body)`.
+fn impl_blocks<'c>(code: &'c str, trait_name: &str) -> Vec<(usize, &'c str)> {
+    let mut blocks = Vec::new();
+    for (at, _) in match_indices_word(code, "impl") {
+        let rest = &code[at..];
+        let Some(brace_rel) = rest.find('{') else { continue };
+        let header = &rest[..brace_rel];
+        // A trait impl header names the trait and continues with ` for `;
+        // `;` means the match strayed into unrelated code.
+        if header.contains(';')
+            || !header.contains(" for ")
+            || match_indices_word(header, trait_name).is_empty()
+        {
+            continue;
+        }
+        let open = at + brace_rel;
+        let mut depth = 0usize;
+        let mut end = code.len();
+        for (j, b) in code.as_bytes().iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        blocks.push((line_of(code, at), &code[open..end]));
+    }
+    blocks
+}
+
+/// Numeric literals in the code as `(line, value, text)`, with underscores
+/// and type suffixes normalized and `0x`/`0o`/`0b` radices parsed.
+fn numeric_literals(code: &str) -> Vec<(usize, u64, String)> {
+    let bytes = code.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() && (i == 0 || !is_ident(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && (is_ident(bytes[i])) {
+                i += 1;
+            }
+            let text = &code[start..i];
+            if let Some(value) = parse_literal(text) {
+                out.push((line_of(code, start), value, text.to_owned()));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_literal(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    // Strip a type suffix (u8…u128, i8…i128, usize, isize).
+    let body = ["usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8"]
+        .iter()
+        .find_map(|s| clean.strip_suffix(s))
+        .unwrap_or(&clean);
+    if body.is_empty() {
+        return None;
+    }
+    if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = body.strip_prefix("0o") {
+        u64::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        body.parse().ok()
+    }
+}
+
+/// Is the finding suppressed by a marker on the same or preceding line, or
+/// by a file-level marker?
+fn is_suppressed(lines: &[&str], source: &str, rule: &str, line: usize) -> bool {
+    let site = format!("lint: allow({rule})");
+    let file_wide = format!("lint: allow-file({rule})");
+    if source.contains(&file_wide) {
+        return true;
+    }
+    // A trailing marker on the offending line itself always counts.
+    // (`line` is 1-based.)
+    if lines
+        .get(line.wrapping_sub(1))
+        .is_some_and(|l| l.contains(&site))
+    {
+        return true;
+    }
+    // Otherwise scan upward through the contiguous comment block directly
+    // above the site: a marker anywhere in that block covers the statement
+    // it documents, however long the justification runs. A trailing marker
+    // on the *previous statement* does not bleed downward, because that
+    // line is not comment-only and stops the scan.
+    let mut idx = line.wrapping_sub(2);
+    while let Some(l) = lines.get(idx) {
+        if !l.trim_start().starts_with("//") {
+            break;
+        }
+        if l.contains(&site) {
+            return true;
+        }
+        if idx == 0 {
+            break;
+        }
+        idx -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let src = "let x = \"panic!\"; // panic!\n/* panic! */ let y = 'p';\n";
+        let masked = mask_code(src);
+        assert!(!masked.contains("panic"));
+        assert!(masked.contains("let x ="));
+        assert!(masked.contains("let y ="));
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masking_keeps_lifetimes() {
+        let masked = mask_code("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(masked.contains("'a"));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings() {
+        let masked = mask_code(r##"let s = r#"unwrap() inside"#; let t = 1;"##);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn test_blocks_are_masked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
+        let out = mask_test_blocks(&mask_code(src));
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("fn a()"));
+    }
+
+    #[test]
+    fn panic_sites_exclude_unwrap_or() {
+        let code = "a.unwrap_or_else(f); b.unwrap(); c.expect(\"x\"); panic!(\"y\");";
+        let masked = mask_code(code);
+        let sites = find_panic_sites(&masked);
+        let labels: Vec<&str> = sites.iter().map(|&(_, w)| w).collect();
+        assert_eq!(labels, ["unwrap()", "expect()", "panic!"]);
+    }
+
+    #[test]
+    fn literal_parsing_normalizes() {
+        assert_eq!(parse_literal("4096"), Some(4096));
+        assert_eq!(parse_literal("4_096u64"), Some(4096));
+        assert_eq!(parse_literal("0x1000"), Some(4096));
+        assert_eq!(parse_literal("0x20_0000"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_literal("0b1000000000000"), Some(4096));
+        assert_eq!(parse_literal("123usize"), Some(123));
+        assert_eq!(parse_literal("0x"), None);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_preceding_line() {
+        let src = "// lint: allow(panic) — fine\nx.unwrap();\ny.unwrap(); // lint: allow(panic)\nz.unwrap();\n";
+        let findings = lint_source(FileKind::Lib, Path::new("crates/x/src/a.rs"), src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn file_wide_suppression() {
+        let src = "// lint: allow-file(panic) — generated shim\nx.unwrap();\ny.unwrap();\n";
+        let findings = lint_source(FileKind::Lib, Path::new("crates/x/src/a.rs"), src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify(Path::new("compat/rand/src/lib.rs")), FileKind::Compat);
+        assert_eq!(classify(Path::new("tests/differential.rs")), FileKind::Test);
+        assert_eq!(classify(Path::new("crates/sim/src/bin/sweep.rs")), FileKind::Bin);
+        assert_eq!(classify(Path::new("crates/sim/benches/tlb_ops.rs")), FileKind::Bin);
+        assert_eq!(classify(Path::new("crates/core/src/mix.rs")), FileKind::Lib);
+    }
+
+    #[test]
+    fn crate_roots() {
+        assert!(is_crate_root(Path::new("crates/core/src/lib.rs")));
+        assert!(is_crate_root(Path::new("crates/check/src/main.rs")));
+        assert!(is_crate_root(Path::new("crates/sim/src/bin/sweep.rs")));
+        assert!(is_crate_root(Path::new("crates/sim/benches/tlb_ops.rs")));
+        assert!(!is_crate_root(Path::new("crates/core/src/mix.rs")));
+    }
+
+    #[test]
+    fn impl_block_extraction() {
+        let code = "impl TlbDevice for Foo {\n fn invalidate_sets(&self) {}\n}\nimpl TlbDevice for Bar {\n fn other(&self) {}\n}\n";
+        let blocks = impl_blocks(code, "TlbDevice");
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks[0].1.contains("fn invalidate_sets"));
+        assert!(!blocks[1].1.contains("fn invalidate_sets"));
+    }
+}

@@ -1,0 +1,129 @@
+//! `mixtlb-check` — the workspace's offline checker CLI.
+//!
+//! ```text
+//! mixtlb-check --lint [ROOT]     # token-level workspace lint pass
+//! mixtlb-check --model           # bounded model-check of the shootdown protocol
+//! mixtlb-check --list-rules      # print the lint rule identifiers
+//! ```
+//!
+//! `--lint` exits non-zero when any finding remains, so CI can gate on it.
+//! `--model` runs the time-boxed subset of the interleaving exploration
+//! (the full suites live in `cargo test -p mixtlb-check --features model`):
+//! the correct two-core shootdown protocol must pass *every* schedule up
+//! to the preemption bound, and each seeded bug must be caught.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mixtlb_check::lint;
+use mixtlb_check::protocol::{SeededBug, ShootdownScenario};
+use mixtlb_check::sched::{Config, FailureKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--lint") => run_lint(args.get(1).map(PathBuf::from)),
+        Some("--model") => run_model(),
+        Some("--list-rules") => {
+            for rule in lint::RULES {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: mixtlb-check --lint [ROOT] | --model | --list-rules"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(root: Option<PathBuf>) -> ExitCode {
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match lint::lint_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            if report.is_clean() {
+                println!(
+                    "lint: {} file(s) clean ({} rules)",
+                    report.files_checked,
+                    lint::RULES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "lint: {} finding(s) in {} file(s)",
+                    report.findings.len(),
+                    report.files_checked
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: cannot walk {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_model() -> ExitCode {
+    let cfg = Config::exhaustive();
+    let mut ok = true;
+
+    // The correct protocol: every interleaving must be clean.
+    let clean = ShootdownScenario::two_core(SeededBug::None).explore(&cfg);
+    match &clean.failure {
+        None => println!(
+            "model: correct 2-core shootdown clean over {} schedule(s){}",
+            clean.schedules,
+            if clean.complete { " (exhaustive)" } else { "" }
+        ),
+        Some(f) => {
+            ok = false;
+            println!(
+                "model: FAILURE — correct protocol failed ({:?}): {}",
+                f.kind, f.message
+            );
+        }
+    }
+
+    // Each seeded bug must be caught.
+    for (bug, expect) in [
+        (SeededBug::DoorbellBeforeRemap, FailureKind::Assertion),
+        (SeededBug::PartialSweep, FailureKind::Assertion),
+        (SeededBug::MissingAck, FailureKind::Deadlock),
+    ] {
+        let report = ShootdownScenario::two_core(bug).explore(&cfg);
+        match &report.failure {
+            Some(f) if f.kind == expect => println!(
+                "model: seeded {bug:?} caught as {:?} after {} schedule(s)",
+                f.kind, report.schedules
+            ),
+            Some(f) => {
+                ok = false;
+                println!(
+                    "model: FAILURE — seeded {bug:?} caught as {:?}, expected {expect:?}: {}",
+                    f.kind, f.message
+                );
+            }
+            None => {
+                ok = false;
+                println!(
+                    "model: FAILURE — seeded {bug:?} NOT caught in {} schedule(s)",
+                    report.schedules
+                );
+            }
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+// Lint fixture: a crate root that satisfies every rule.
+// Never compiled — driven through `lint_source` by tests/lint_rules.rs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // lint: allow(relaxed-ordering) — statistics counter read post-join.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn safe_div(a: u64, b: u64) -> Option<u64> {
+    a.checked_div(b)
+}

@@ -1,0 +1,20 @@
+// Lint fixture: hard-coded page-geometry constants.
+// Never compiled — driven through `lint_source` by tests/lint_rules.rs.
+
+pub fn offsets(addr: u64) -> (u64, u64, u64, u64) {
+    let base = addr / 4096;
+    let super2m = addr & (0x20_0000 - 1);
+    let super1g = addr % 1_073_741_824;
+    let pages_per_gig = 262_144;
+    (base, super2m, super1g, pages_per_gig)
+}
+
+pub fn justified(addr: u64) -> u64 {
+    // lint: allow(geometry-literal) — documenting the raw encoding.
+    addr / 4096
+}
+
+pub fn unrelated() -> u64 {
+    // Not a geometry value: must not fire.
+    4095 + 2048
+}

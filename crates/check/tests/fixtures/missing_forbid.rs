@@ -1,0 +1,5 @@
+// Lint fixture: a crate root without `#![forbid(unsafe_code)]`.
+// Never compiled — driven through `lint_source` by tests/lint_rules.rs,
+// which presents it under a `src/lib.rs` path.
+
+pub fn noop() {}

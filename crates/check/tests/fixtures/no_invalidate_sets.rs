@@ -1,0 +1,29 @@
+// Lint fixture: a `TlbDevice` impl that forgets `invalidate_sets`.
+// Never compiled — driven through `lint_source` by tests/lint_rules.rs.
+
+pub struct Conventional;
+
+impl TlbDevice for Conventional {
+    fn lookup(&mut self) -> bool {
+        false
+    }
+}
+
+pub struct Mirrored;
+
+impl TlbDevice for Mirrored {
+    fn lookup(&mut self) -> bool {
+        true
+    }
+
+    fn invalidate_sets(&self, sets: u64) -> u64 {
+        sets
+    }
+}
+
+// An unrelated trait impl must not trip the rule.
+impl Clone for Conventional {
+    fn clone(&self) -> Self {
+        Conventional
+    }
+}

@@ -1,0 +1,21 @@
+// Lint fixture: panic sites in library code.
+// Never compiled — driven through `lint_source` by tests/lint_rules.rs.
+
+pub fn bad(opt: Option<u64>, res: Result<u64, String>) -> u64 {
+    let a = opt.unwrap();
+    let b = res.expect("must be present");
+    if a + b == 0 {
+        panic!("impossible");
+    }
+    a + b
+}
+
+pub fn fine(opt: Option<u64>) -> u64 {
+    // `unwrap_or*` combinators are error handling, not panics.
+    opt.unwrap_or_else(|| 0).unwrap_or(7)
+}
+
+pub fn justified(opt: Option<u64>) -> u64 {
+    // lint: allow(panic) — invariant established two lines above.
+    opt.unwrap()
+}

@@ -1,0 +1,12 @@
+// Lint fixture: one unjustified `Ordering::Relaxed`, one justified.
+// Never compiled — driven through `lint_source` by tests/lint_rules.rs.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // lint: allow(relaxed-ordering) — statistics counter read post-join.
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,118 @@
+//! Fixture self-tests for the workspace lint pass: every rule must fire
+//! on its seeded fixture, respect suppression markers and file-kind
+//! exemptions, and stay silent on the clean fixture. The final test runs
+//! the real `lint_workspace` over this repository — the lint gate CI
+//! enforces.
+
+use std::path::Path;
+
+use mixtlb_check::lint::{lint_source, lint_workspace, FileKind, RULES};
+
+const LIB: &str = "crates/fixture/src/demo.rs";
+const ROOT: &str = "crates/fixture/src/lib.rs";
+
+fn rules_of(findings: &[mixtlb_check::lint::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn relaxed_ordering_fires_once_and_respects_the_marker() {
+    let src = include_str!("fixtures/relaxed.rs");
+    let findings = lint_source(FileKind::Lib, Path::new(LIB), src);
+    assert_eq!(rules_of(&findings), ["relaxed-ordering"]);
+    assert_eq!(findings[0].line, 6, "the unjustified fetch_add");
+}
+
+#[test]
+fn panic_rule_catches_unwrap_expect_and_panic_only() {
+    let src = include_str!("fixtures/panics.rs");
+    let findings = lint_source(FileKind::Lib, Path::new(LIB), src);
+    assert_eq!(rules_of(&findings), ["panic", "panic", "panic"]);
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, [5, 6, 8], "unwrap, expect, panic! — nothing else");
+}
+
+#[test]
+fn tlbdevice_impl_without_invalidate_sets_is_flagged() {
+    let src = include_str!("fixtures/no_invalidate_sets.rs");
+    let findings = lint_source(FileKind::Lib, Path::new(LIB), src);
+    assert_eq!(rules_of(&findings), ["invalidate-sets-override"]);
+    assert_eq!(findings[0].line, 6, "the Conventional impl header");
+    assert!(findings[0].message.contains("Sec. 5.1"));
+}
+
+#[test]
+fn geometry_literals_fire_outside_types_and_honor_markers() {
+    let src = include_str!("fixtures/geometry.rs");
+    let findings = lint_source(FileKind::Lib, Path::new(LIB), src);
+    assert_eq!(
+        rules_of(&findings),
+        ["geometry-literal"; 4],
+        "4096, 0x20_0000, 1_073_741_824, 262_144 — the justified and \
+         non-geometry literals stay silent"
+    );
+    // The same source inside mixtlb-types is exempt: that is where the
+    // named constants live.
+    let in_types = lint_source(
+        FileKind::Lib,
+        Path::new("crates/types/src/geometry.rs"),
+        src,
+    );
+    assert!(in_types.is_empty(), "types crate defines the constants");
+}
+
+#[test]
+fn crate_roots_must_forbid_unsafe() {
+    let src = include_str!("fixtures/missing_forbid.rs");
+    let findings = lint_source(FileKind::Lib, Path::new(ROOT), src);
+    assert_eq!(rules_of(&findings), ["forbid-unsafe"]);
+    // A non-root file with the same content is fine.
+    let non_root = lint_source(FileKind::Lib, Path::new(LIB), src);
+    assert!(non_root.is_empty());
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let src = include_str!("fixtures/clean.rs");
+    let findings = lint_source(FileKind::Lib, Path::new(ROOT), src);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn test_and_compat_files_are_exempt_from_style_rules() {
+    // Test code may unwrap and hard-code geometry freely.
+    let src = include_str!("fixtures/panics.rs");
+    assert!(lint_source(FileKind::Test, Path::new("tests/x.rs"), src).is_empty());
+    assert!(lint_source(FileKind::Compat, Path::new("compat/x/src/util.rs"), src).is_empty());
+}
+
+#[test]
+fn rule_list_is_stable() {
+    assert_eq!(
+        RULES,
+        [
+            "relaxed-ordering",
+            "panic",
+            "invalidate-sets-override",
+            "geometry-literal",
+            "forbid-unsafe",
+        ]
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    // The acceptance bar: the lint pass runs clean on this repository.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check sits two levels below the workspace root");
+    let report = lint_workspace(root).expect("workspace walk");
+    assert!(report.files_checked > 50, "the walk must see the workspace");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "workspace lint findings:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -67,7 +67,9 @@ mod split;
 mod storage;
 
 pub use api::{CoalescedRun, Lookup, TlbDevice, TlbStats};
-pub use mix::{CoalesceKind, DirtyPolicy, FillMerge, MirrorPolicy, MixTlb, MixTlbConfig};
+pub use mix::{
+    CoalesceKind, DirtyPolicy, FillMerge, InvariantViolation, MirrorPolicy, MixTlb, MixTlbConfig,
+};
 pub use multiprobe::{MultiProbeConfig, MultiProbeTlb};
 pub use oracle::OracleUnifiedTlb;
 pub use single::{SingleSizeTlb, SingleSizeTlbConfig};

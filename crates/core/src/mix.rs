@@ -1,6 +1,7 @@
 //! The MIX TLB: one set-associative array for all page sizes.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use mixtlb_types::{AccessKind, Asid, PageSize, Permissions, Pfn, Translation, Vpn};
 
@@ -322,11 +323,14 @@ impl MixTlb {
                 // Merge when the representation allows. Disjoint length
                 // ranges are *not* duplicates — they are different
                 // coalesced fragments of the bundle — and both stay.
+                // lint: allow(panic) — way index came from the duplicate scan over the same storage
                 let dup_map = self.storage.get(set, way).expect("way is valid").map;
+                // lint: allow(panic) — same occupied way as the line above
                 let dup_dirty = self.storage.get(set, way).expect("way is valid").dirty;
                 let first = self
                     .storage
                     .get_mut(set, first_way)
+                    // lint: allow(panic) — first_way was recorded from an occupied slot in this scan
                     .expect("first entry is valid");
                 let mut merged_map = first.map;
                 if merged_map.merge(&dup_map) {
@@ -476,11 +480,13 @@ impl MixTlb {
         };
         self.storage.touch(set, way);
         let singleton = {
+            // lint: allow(panic) — way index came from the hit probe over the same storage
             let e = self.storage.get(set, way).expect("hit way is valid");
             e.map.count() == 1
         };
         let mut dirty_microop = false;
         if kind.is_store() {
+            // lint: allow(panic) — same hit way as the singleton read above
             let e = self.storage.get_mut(set, way).expect("hit way is valid");
             if !e.dirty {
                 dirty_microop = true;
@@ -493,6 +499,7 @@ impl MixTlb {
                 }
             }
         }
+        // lint: allow(panic) — same hit way as above
         let e = *self.storage.get(set, way).expect("hit way is valid");
         let pos = self.pos_of(vpn, e.size);
         self.stats.record_hit(e.size);
@@ -563,6 +570,7 @@ impl MixTlb {
                         && (dirty_policy == DirtyPolicy::AndOfBundle || e.dirty == entry.dirty)
                 }) {
                     self.storage.touch(set, way);
+                    // lint: allow(panic) — way index came from the find() just above
                     let existing = self.storage.get_mut(set, way).expect("found way is valid");
                     let before = existing.map.count();
                     if existing.map.merge(&entry.map) {
@@ -611,6 +619,7 @@ impl MixTlb {
                 match self.config.kind {
                     CoalesceKind::Bitmap => {
                         let remove = {
+                            // lint: allow(panic) — way was recorded from an occupied slot earlier in this sweep
                             let e = self.storage.get_mut(set, way).expect("way is valid");
                             if let Map::Bits(bits) = &mut e.map {
                                 *bits &= !(1u128 << pos);
@@ -637,6 +646,240 @@ impl MixTlb {
                 }
             }
         }
+    }
+}
+
+/// A broken structural invariant of a [`MixTlb`], reported by
+/// [`MixTlb::check_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke (a short stable identifier:
+    /// `"representation"`, `"empty-entry"`, `"extent"`,
+    /// `"mirror-conflict"`, `"unmerged-duplicate"`).
+    pub rule: &'static str,
+    /// Human-readable description with entry coordinates.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MixTlb invariant '{}' violated: {}", self.rule, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Structural invariant checkers (debug-mode validation).
+///
+/// These walk the whole array — O(entries²) in the worst case — so they are
+/// meant for tests and the model checker, not for per-operation
+/// `debug_assert!`s on the hot path.
+impl MixTlb {
+    /// Checks the *safety* invariants of the array. These must hold at
+    /// every point of every execution, including mid-protocol states with
+    /// transient blind-mirror duplicates (paper Sec. 4.3, Fig. 8):
+    ///
+    /// 1. **Representation**: every entry's map matches the configured
+    ///    [`CoalesceKind`] (bitmap entries in L1 arrays, ranges in L2), is
+    ///    non-empty, and stays within the bundle extent.
+    /// 2. **Mirror coherence**: no two entries — within a set or across
+    ///    sets — that a single lookup could both serve (same size, same
+    ///    bundle, ASID-visible to a common address space, overlapping
+    ///    coalesced positions) disagree on the physical anchor or the
+    ///    permissions. A violation means some probed set would return a
+    ///    *different translation* than another for the same access — the
+    ///    stale-mirror failure mode a partial shootdown sweep leaves
+    ///    behind (Sec. 5.1).
+    ///
+    /// Exact same-anchor duplicates are legal here (blind mirroring
+    /// creates them transiently); [`MixTlb::check_invariants_strict`]
+    /// additionally rejects those.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let entries = self.collect_entries();
+        // 1. Per-entry representation and extent.
+        for &(set, way, e) in &entries {
+            let bundle_count = (self.bundle_pages(e.size) / e.size.pages_4k()) as u32;
+            match (self.config.kind, e.map) {
+                (CoalesceKind::Bitmap, Map::Bits(bits)) => {
+                    if bits == 0 {
+                        return Err(InvariantViolation {
+                            rule: "empty-entry",
+                            detail: format!("set {set} way {way}: bitmap entry with no positions"),
+                        });
+                    }
+                    if bundle_count < 128 && bits >> bundle_count != 0 {
+                        return Err(InvariantViolation {
+                            rule: "extent",
+                            detail: format!(
+                                "set {set} way {way}: bitmap {bits:#x} exceeds bundle of {bundle_count}"
+                            ),
+                        });
+                    }
+                }
+                (CoalesceKind::Length, Map::Range { start, len }) => {
+                    if len == 0 {
+                        return Err(InvariantViolation {
+                            rule: "empty-entry",
+                            detail: format!("set {set} way {way}: zero-length range entry"),
+                        });
+                    }
+                    if start + len > bundle_count {
+                        return Err(InvariantViolation {
+                            rule: "extent",
+                            detail: format!(
+                                "set {set} way {way}: range [{start}, {}) exceeds bundle of {bundle_count}",
+                                start + len
+                            ),
+                        });
+                    }
+                }
+                (kind, map) => {
+                    return Err(InvariantViolation {
+                        rule: "representation",
+                        detail: format!(
+                            "set {set} way {way}: {map:?} entry in a {kind:?} array"
+                        ),
+                    });
+                }
+            }
+        }
+        // 2. Pairwise mirror coherence (covers within-set conflicting
+        //    duplicates and cross-set stale mirrors alike).
+        for (i, &(s1, w1, a)) in entries.iter().enumerate() {
+            for &(s2, w2, b) in &entries[i + 1..] {
+                if a.size != b.size
+                    || a.bundle_base != b.bundle_base
+                    || !asids_can_collide(a.asid, b.asid)
+                {
+                    continue;
+                }
+                let Some(pos) = map_overlap(&a.map, &b.map) else {
+                    continue;
+                };
+                if a.anchor_pfn != b.anchor_pfn || a.perms != b.perms {
+                    return Err(InvariantViolation {
+                        rule: "mirror-conflict",
+                        detail: format!(
+                            "entries (set {s1}, way {w1}) and (set {s2}, way {w2}) both cover \
+                             bundle {:#x} position {pos} ({:?}) but disagree: \
+                             anchors {:#x} vs {:#x}, perms {:?} vs {:?} — a lookup would \
+                             observe a stale translation",
+                            a.bundle_base.raw(), a.size, a.anchor_pfn, b.anchor_pfn,
+                            a.perms, b.perms
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`MixTlb::check_invariants`] plus the *quiescence* invariant: no
+    /// two entries in the same set that duplicate elimination would merge
+    /// (same tag, anchor and ASID with mergeable maps). Transient
+    /// duplicates from blind mirroring are expected between operations;
+    /// after every relevant set has been probed — e.g. at the end of a
+    /// shootdown protocol's validation phase — none may remain.
+    pub fn check_invariants_strict(&self) -> Result<(), InvariantViolation> {
+        self.check_invariants()?;
+        let entries = self.collect_entries();
+        for (i, &(s1, w1, a)) in entries.iter().enumerate() {
+            for &(s2, w2, b) in &entries[i + 1..] {
+                if s1 != s2
+                    || a.size != b.size
+                    || a.bundle_base != b.bundle_base
+                    || a.anchor_pfn != b.anchor_pfn
+                    || a.asid != b.asid
+                {
+                    continue;
+                }
+                // Mergeable representations are duplicates; disjoint length
+                // ranges are distinct fragments and may stay.
+                let mut merged = a.map;
+                if merged.merge(&b.map) {
+                    return Err(InvariantViolation {
+                        rule: "unmerged-duplicate",
+                        detail: format!(
+                            "set {s1} ways {w1}/{w2}: duplicate entries for bundle {:#x} \
+                             ({:?}) survived a probe",
+                            a.bundle_base.raw(), a.size
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_entries(&self) -> Vec<(usize, usize, MixEntry)> {
+        let mut out = Vec::new();
+        for set in 0..self.config.sets {
+            for way in 0..self.storage.ways() {
+                if let Some(e) = self.storage.get(set, way) {
+                    out.push((set, way, *e));
+                }
+            }
+        }
+        out
+    }
+
+    /// **Test-only seeded bug** for the model checker's self-test: an
+    /// invalidation that sweeps *only the probed set*, as a conventional
+    /// TLB would — forgetting that MIX superpage entries are mirrored into
+    /// every set (Sec. 5.1). After a remap, the unswept sets keep serving
+    /// the old frame; [`MixTlb::check_invariants`] reports the
+    /// mirror-conflict and the bounded explorer finds the interleavings
+    /// where a core consumes the stale translation. Never call this from
+    /// production code (the workspace lint's fixture tests keep it out).
+    #[doc(hidden)]
+    pub fn buggy_invalidate_probed_set_only(&mut self, vpn: Vpn, size: PageSize) {
+        self.stats.invalidations += 1;
+        let base = self.bundle_base(vpn, size);
+        let pos = self.pos_of(vpn, size);
+        let set = self.set_of(vpn); // BUG: superpage entries live in *all* sets
+        for way in self
+            .storage
+            .find_all(set, |e| e.tag_matches(size, base) && e.asid.matches(Asid::UNTAGGED))
+        {
+            let remove = {
+                let Some(e) = self.storage.get_mut(set, way) else { continue };
+                match &mut e.map {
+                    Map::Bits(bits) => {
+                        *bits &= !(1u128 << pos);
+                        *bits == 0
+                    }
+                    Map::Range { .. } => e.map.contains(pos),
+                }
+            };
+            if remove {
+                self.storage.remove(set, way);
+            }
+        }
+    }
+}
+
+/// Could a single lookup observe entries with these two ASID tags? True
+/// when the tags are equal or either is global ([`Asid::UNTAGGED`] entries
+/// are visible to every space).
+fn asids_can_collide(a: Asid, b: Asid) -> bool {
+    a == b || a.is_untagged() || b.is_untagged()
+}
+
+/// First coalesced position present in both maps, if any.
+fn map_overlap(a: &Map, b: &Map) -> Option<u32> {
+    match (*a, *b) {
+        (Map::Bits(x), Map::Bits(y)) => {
+            let both = x & y;
+            (both != 0).then(|| both.trailing_zeros())
+        }
+        (Map::Range { start: s1, len: l1 }, Map::Range { start: s2, len: l2 }) => {
+            let start = s1.max(s2);
+            let end = (s1 + l1).min(s2 + l2);
+            (start < end).then_some(start)
+        }
+        // Mixed representations cannot coexist in a well-formed array (the
+        // representation check rejects them first); conservatively scan.
+        (x, y) => (0..128).find(|&p| x.contains(p) && y.contains(p)),
     }
 }
 

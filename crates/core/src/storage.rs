@@ -73,6 +73,7 @@ impl<E> SetStorage<E> {
             .unwrap_or_else(|| {
                 (0..self.ways)
                     .min_by_key(|&w| self.stamps[base + w])
+                    // lint: allow(panic) — ways >= 1 by construction, the min always exists
                     .expect("at least one way")
             });
         let evicted = self.slots[base + way].replace(entry);

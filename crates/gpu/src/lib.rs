@@ -160,6 +160,7 @@ impl GpuScenario {
         let region = Vpn::new(1 << 18);
         kernel
             .mmap(space, region, spec.footprint_pages(), Permissions::rw_user())
+            // lint: allow(panic) — a freshly created address space has no VMAs to overlap
             .expect("fresh address space");
         kernel.fault_all(space);
         GpuScenario {
@@ -228,6 +229,7 @@ impl GpuScenario {
             if sm == 0 {
                 sweep_walks = 0;
             }
+            // lint: allow(panic) — access generators are infinite iterators
             let ev = generators[sm].next().expect("generators are infinite");
             stats.accesses += 1;
             let vpn = ev.va.vpn();

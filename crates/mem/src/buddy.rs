@@ -168,6 +168,7 @@ impl BuddyAllocator {
             .ok_or(AllocError::OutOfMemory)?;
         let mut base = *self.free_lists[from_order as usize]
             .last()
+            // lint: allow(panic) — the search above selected this order because its free list is non-empty
             .expect("order was found non-empty");
         self.remove_free(base, from_order);
         // Split down, keeping the HIGH half each time.

@@ -188,6 +188,7 @@ impl PhysicalMemory {
             .allocated
             .get(&base.raw())
             .copied()
+            // lint: allow(panic) — freeing an untracked block is a simulator bug; failing loudly is the allocator's contract
             .unwrap_or_else(|| panic!("freeing unallocated block at {base}"));
         assert_eq!(recorded_order, order, "free order mismatch at {base}");
         self.unmark(base.raw(), order);
@@ -325,6 +326,7 @@ impl PhysicalMemory {
             for &(b, o, k) in &inside {
                 self.buddy
                     .alloc_at(b, o)
+                    // lint: allow(panic) — rollback re-allocates a block this very function just freed, so the region is free
                     .expect("original block location must still be free during rollback");
                 self.mark(b, o, k);
             }
@@ -385,6 +387,7 @@ impl PhysicalMemory {
         let (_, kind) = self
             .allocated
             .remove(&base)
+            // lint: allow(panic) — unmarking an untracked block is a simulator bug surfaced immediately
             .unwrap_or_else(|| panic!("unmark of untracked block {base:#x}"));
         let n = 1u64 << order;
         for f in base..base + n {

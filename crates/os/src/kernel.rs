@@ -120,6 +120,7 @@ impl FrameSource for PtFrames<'_> {
         // candidate and breaks physical contiguity).
         self.0
             .alloc_block_top(0, FrameKind::PageTable)
+            // lint: allow(panic) — page-table frames come from a reserved top-of-memory region sized at construction; exhaustion is a configuration bug
             .expect("out of memory for page-table frames")
     }
 }
@@ -371,6 +372,7 @@ impl Kernel {
                     .is_aligned(pool_size)
                 && !self.spaces[sid].pool.is_empty()
             {
+                // lint: allow(panic) — pool non-emptiness is checked in the surrounding condition
                 let pfn = self.spaces[sid].pool.pop_front().expect("non-empty pool");
                 let t = Translation::new(vpn.align_down(pool_size), pfn, pool_size, vma.perms);
                 self.install(sid, t)?;
@@ -471,6 +473,7 @@ impl Kernel {
         let removed = self.spaces[sid]
             .page_table
             .unmap(existing.vpn, existing.size)
+            // lint: allow(panic) — the lookup just above found this exact mapping
             .expect("lookup just found the mapping");
         self.mem.free_page(removed.pfn, removed.size);
         self.rmap[removed.pfn.raw() as usize] = 0;
@@ -499,6 +502,7 @@ impl Kernel {
         let removed = self.spaces[sid]
             .page_table
             .unmap(existing.vpn, existing.size)
+            // lint: allow(panic) — the lookup just above found this exact mapping
             .expect("lookup just found the mapping");
         self.rmap[removed.pfn.raw() as usize] = 0;
         let Kernel { mem, spaces, rmap } = self;
@@ -514,6 +518,7 @@ impl Kernel {
             spaces[sid]
                 .page_table
                 .map(small, &mut PtFrames(mem))
+                // lint: allow(panic) — the covering superpage was unmapped above, so the 4 KB remaps cannot collide
                 .expect("region was just unmapped");
             rmap[small.pfn.raw() as usize] = pack_owner(sid, PageSize::Size4K, small.vpn);
         }
@@ -528,6 +533,7 @@ impl Kernel {
         spaces[sid]
             .page_table
             .map(t, &mut PtFrames(mem))
+            // lint: allow(panic) — the fault path runs only for VPNs the walk just reported unmapped
             .expect("fault path never double-maps");
         rmap[t.pfn.raw() as usize] = pack_owner(sid, t.size, t.vpn);
         Ok(())
@@ -618,6 +624,7 @@ impl Kernel {
                 self.spaces[owner]
                     .page_table
                     .remap(vpn, size, new)
+                    // lint: allow(panic) — reverse-map entries are maintained to point at live mappings
                     .expect("reverse map points at a live mapping");
                 self.rmap[old.raw() as usize] = 0;
                 self.rmap[new.raw() as usize] = packed;

@@ -124,6 +124,7 @@ impl NestedWalker {
             let spa_pte = match &host_mapping {
                 Some(t) => t
                     .translate(VirtAddr::new(gpa_pte.raw()))
+                    // lint: allow(panic) — the host table is pre-faulted to cover every guest page-table frame
                     .expect("host leaf covers the guest PTE address"),
                 None => {
                     return Self::fault(pte_reads, pte_writes);
@@ -137,6 +138,7 @@ impl NestedWalker {
                 Entry::Table(child) => node = child,
                 Entry::Leaf(_) => {
                     let gsize = PageSize::from_level(level)
+                        // lint: allow(panic) — the walker only yields leaf entries at levels 0-2
                         .expect("leaf entries exist only at levels 0-2");
                     // Guest A/D update.
                     let mut wrote = false;
@@ -170,6 +172,7 @@ impl NestedWalker {
                     // the host PTE's dirty bit, so they bypass the cache.
                     let data_gpa = gtrans
                         .translate(gva)
+                        // lint: allow(panic) — the guest walk just produced this covering leaf
                         .expect("guest leaf covers the request");
                     let data_gpn = mixtlb_types::Vpn::new(data_gpa.pfn().raw());
                     let cached = if access.is_store() {

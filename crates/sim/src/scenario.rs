@@ -194,6 +194,7 @@ impl NativeScenario {
         let region = Vpn::new(1 << 18);
         kernel
             .mmap(space, region, spec.footprint_pages(), Permissions::rw_user())
+            // lint: allow(panic) — a freshly created address space has no VMAs to overlap
             .expect("fresh address space has no overlapping VMAs");
         kernel.fault_all(space);
         NativeScenario {

@@ -125,6 +125,7 @@ impl VirtScenario {
             let region = Vpn::new(1 << 18);
             kernel
                 .mmap(space, region, vm_spec.footprint_pages(), Permissions::rw_user())
+                // lint: allow(panic) — a freshly created guest address space has no VMAs to overlap
                 .expect("fresh guest address space");
             kernel.fault_all(space);
             // EPT: back the whole guest-physical space through host THS.
@@ -132,6 +133,7 @@ impl VirtScenario {
                 host.create_space(PagingPolicy::TransparentHuge(ThsConfig::default()));
             let guest_frames = kernel.mem().total_frames();
             host.mmap(ept_space, Vpn::new(0), guest_frames, Permissions::rw_user())
+                // lint: allow(panic) — the EPT space was created empty two lines above
                 .expect("fresh EPT space");
             host.fault_all(ept_space);
             if splinter_fraction > 0.0 {
@@ -155,6 +157,7 @@ impl VirtScenario {
                     if rng.gen_bool(splinter_fraction) {
                         for j in 0..SPLINTER_CLUSTER.min(superpages.len() - i) {
                             host.splinter(ept_space, superpages[i + j])
+                                // lint: allow(panic) — the superpage leaf was just enumerated from the live table
                                 .expect("leaf just enumerated");
                         }
                         i += SPLINTER_CLUSTER;

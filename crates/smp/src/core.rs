@@ -1,7 +1,9 @@
 //! One simulated core: private TLB hierarchy, private caches, PWC, its
 //! own page table, and its trace stream.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come from mixtlb-check's facade (instrumented under the `model`
+// feature, plain `std::sync::atomic` re-exports otherwise).
+use mixtlb_check::sync::{AtomicU64, Ordering};
 
 use mixtlb_cache::{CacheHierarchy, HierarchyConfig, PageWalkCache, SharedCache};
 use mixtlb_core::{Lookup, TlbStats};
@@ -168,6 +170,7 @@ impl SmpCore {
     /// commutative sum, so totals are interleaving-independent.
     pub(crate) fn run(&mut self, refs: u64, llc: &SharedCache, absorbed: &[AtomicU64]) {
         for _ in 0..refs {
+            // lint: allow(panic) — trace generators are infinite iterators
             let ev = self.generator.next().expect("generator is infinite");
             self.step(&ev, llc);
             if self.shootdown_interval > 0 && self.stats.accesses.is_multiple_of(self.shootdown_interval)
@@ -198,6 +201,7 @@ impl SmpCore {
         }
         if self.hierarchy.l2.is_some() {
             self.stats.local_stall_cycles += self.l2_hit_cycles;
+            // lint: allow(panic) — is_some() checked in the surrounding condition
             let l2 = self.hierarchy.l2.as_mut().expect("just checked");
             match l2.lookup_asid(self.asid, vpn, ev.kind, ev.pc) {
                 Lookup::Hit {
@@ -302,6 +306,7 @@ impl SmpCore {
         let new_pfn = Pfn::new(t.pfn.raw() ^ (1 << 33));
         self.pt
             .remap(t.vpn, t.size, new_pfn)
+            // lint: allow(panic) — the mapping was just looked up on this core's table
             .expect("page was just looked up");
         self.apply_local_invalidation(t.vpn, t.size);
         let code = t.size.encode() as usize;
@@ -310,6 +315,11 @@ impl SmpCore {
         self.stats.sets_swept_global += self.tables.global_sets_by_size[code];
         self.stats.shootdown_cycles_initiated += self.tables.initiated_cost_by_size[code];
         for (remote, contrib) in &self.tables.remote_contrib {
+            // lint: allow(relaxed-ordering) — commutative cost tally into
+            // another core's absorbed counter. Nothing reads these during
+            // replay; reports load them after `thread::scope` joins, which
+            // already orders every increment. Only atomicity is needed,
+            // and Relaxed keeps the hot replay loop free of fences.
             absorbed[*remote].fetch_add(contrib[code], Ordering::Relaxed);
         }
     }

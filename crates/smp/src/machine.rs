@@ -1,7 +1,10 @@
 //! The N-core machine: per-core private state, a shared sharded LLC,
 //! and the parallel / serial replay drivers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come from mixtlb-check's facade: plain `std::sync::atomic`
+// re-exports in production, instrumented schedule-point wrappers under the
+// `model` feature (see crates/check).
+use mixtlb_check::sync::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use mixtlb_cache::{SharedCache, SharedCacheConfig, SharedCacheStats};
@@ -231,6 +234,10 @@ impl SmpMachine {
                 stats: c.stats(),
                 l1: c.l1_stats(),
                 l2: c.l2_stats(),
+                // lint: allow(relaxed-ordering) — statistics read taken
+                // while the machine is quiesced: `report` runs after
+                // `thread::scope` joined every worker, and the join edge
+                // orders all absorbed-counter increments before this load.
                 shootdown_cycles_absorbed: self.absorbed[i].load(Ordering::Relaxed),
             })
             .collect();
@@ -267,6 +274,7 @@ impl SmpMachine {
                 let new_pfn = Pfn::new(local.pfn.raw() ^ (1 << 33));
                 core.pt
                     .remap(local.vpn, local.size, new_pfn)
+                    // lint: allow(panic) — the mapping was just looked up on this core's table
                     .expect("mapping was just looked up");
                 core.apply_local_invalidation(local.vpn, local.size);
             } else {
@@ -283,6 +291,10 @@ impl SmpMachine {
             .map(|(j, by_size)| (*j, by_size[code]))
             .collect();
         for (j, cycles) in contribs {
+            // lint: allow(relaxed-ordering) — commutative cost tally: adds
+            // from different initiators never race with a decision-making
+            // read (reports load after join), so only atomicity matters
+            // and the totals are interleaving-independent by construction.
             self.absorbed[j].fetch_add(cycles, Ordering::Relaxed);
         }
         let stats = self.cores[initiator].stats_mut();

@@ -113,6 +113,7 @@ impl MultiProgrammedScenario {
         let mut specs = Vec::new();
         for name in workloads {
             let base = WorkloadSpec::by_name(name)
+                // lint: allow(panic) — an unknown workload name is a caller configuration bug surfaced immediately
                 .unwrap_or_else(|| panic!("unknown workload {name:?}"));
             let mut footprint = base.footprint_bytes.min(fair_share);
             if let Some(cap) = cfg.per_core_cap {
@@ -122,6 +123,7 @@ impl MultiProgrammedScenario {
             let space = kernel.create_space(PagingPolicy::TransparentHuge(ThsConfig::default()));
             kernel
                 .mmap(space, region, spec.footprint_pages(), Permissions::rw_user())
+                // lint: allow(panic) — a freshly created address space has no VMAs to overlap
                 .expect("fresh address space has no overlapping VMAs");
             kernel.fault_all(space);
             spaces.push(space);

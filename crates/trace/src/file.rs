@@ -133,7 +133,9 @@ impl Iterator for TraceFile {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
             Err(e) => return Some(Err(e)),
         }
+        // lint: allow(panic) — the slice is exactly 8 bytes by the constant indices
         let pc = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
+        // lint: allow(panic) — the slice is exactly 8 bytes by the constant indices
         let va = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
         let kind = match rec[16] {
             0 => AccessKind::Load,

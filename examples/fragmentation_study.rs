@@ -6,6 +6,8 @@
 //! cargo run --release --example fragmentation_study
 //! ```
 
+#![forbid(unsafe_code)]
+
 use mixtlb::sim::{NativeScenario, PolicyChoice, ScenarioConfig};
 use mixtlb::trace::WorkloadSpec;
 use mixtlb::types::PageSize;

@@ -4,6 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use mixtlb::core::{Lookup, MixTlb, MixTlbConfig, SplitTlb, SplitTlbConfig, TlbDevice};
 use mixtlb::types::{AccessKind, PageSize, Permissions, Pfn, Translation, VirtAddr, Vpn};
 

@@ -5,6 +5,8 @@
 //! cargo run --release --example virtualized
 //! ```
 
+#![forbid(unsafe_code)]
+
 use mixtlb::sim::{designs, improvement_percent, VirtConfig, VirtScenario};
 use mixtlb::trace::WorkloadSpec;
 use mixtlb::types::PageSize;

@@ -13,4 +13,12 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> mixtlb-check --lint (workspace lint gate)"
+cargo run --release -q -p mixtlb-check -- --lint
+
+echo "==> mixtlb-check --model (time-boxed shootdown model check)"
+# Exhaustive 2-core exploration + seeded-bug self-check; the binary
+# bounds its own schedule counts, so this stays well under a minute.
+timeout 300 cargo run --release -q -p mixtlb-check -- --model
+
 echo "CI OK"
