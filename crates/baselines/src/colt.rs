@@ -115,16 +115,22 @@ impl CoalescedSizeTlb {
     }
 
     fn bundle_base(&self, vpn: Vpn) -> Vpn {
-        Vpn::new(vpn.raw() & !(self.bundle_pages() - 1))
+        vpn.align_down_pages(self.bundle_pages())
     }
 
     fn set_of(&self, vpn: Vpn) -> usize {
-        let idx = vpn.raw() / self.bundle_pages();
+        let idx = vpn.chunk_index(self.bundle_pages());
         (idx as usize) & (self.config.sets - 1)
     }
 
     fn pos_of(&self, vpn: Vpn) -> u32 {
-        ((vpn.raw() - self.bundle_base(vpn).raw()) / self.config.size.pages_4k()) as u32
+        let pos = vpn
+            .page_offset_from(self.bundle_base(vpn), self.config.size)
+            // lint: allow(panic) — bundle_base aligns downward, so vpn >= base by construction
+            .expect("vpn precedes its own bundle base");
+        u32::try_from(pos)
+            // lint: allow(panic) — bundle positions are bounded by the configured bundle size (<= 8 for COLT)
+            .expect("bundle position exceeds the configured bundle size")
     }
 
     fn find(&self, set: usize, base: Vpn) -> Option<usize> {

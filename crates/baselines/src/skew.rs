@@ -104,7 +104,7 @@ impl SkewTlb {
     /// skews; behaviourally what matters is that different ways disperse
     /// conflicting translations differently.)
     fn index(&self, way: usize, base: Vpn, size: PageSize) -> usize {
-        let x = base.raw() >> (size.shift() - 12);
+        let x = base.page_number(size);
         let salt = 0x9E37_79B9_7F4A_7C15u64 ^ ((way as u64 + 1) * 0x00C2_B2AE_3D27_D4EB);
         let mut h = x.wrapping_mul(salt);
         h ^= h >> 31;

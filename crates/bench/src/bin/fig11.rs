@@ -6,7 +6,7 @@
 #![forbid(unsafe_code)]
 
 use mixtlb_bench::{banner, Scale, Table};
-use mixtlb_sim::{NativeScenario, PolicyChoice};
+use mixtlb_sim::{NativeScenario, PolicyChoice, ScenarioConfig};
 use mixtlb_types::PageSize;
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
                 // 1 GB contiguity is a machine-scale property: tens of
                 // 1 GB pages need the paper's 80 GB machine.
                 if size == PageSize::Size1G && scale != Scale::Quick {
-                    cfg.mem_bytes = 80 << 30;
+                    cfg.mem_bytes = ScenarioConfig::paper_scale().mem_bytes;
                 }
                 let scenario = NativeScenario::prepare(&spec, &cfg);
                 avg[i] = scenario.contiguity(size).average_contiguity();

@@ -8,7 +8,7 @@ use mixtlb_bench::{banner, signed_pct, Scale, Table};
 
 use mixtlb_gpu::GpuScenario;
 use mixtlb_sim::{
-    designs, improvement_percent, NativeScenario, PolicyChoice, VirtScenario,
+    designs, improvement_percent, NativeScenario, PolicyChoice, ScenarioConfig, VirtScenario,
 };
 use mixtlb_trace::WorkloadClass;
 
@@ -41,7 +41,7 @@ fn main() {
             // machine-scale effect, so give it the paper's 80 GB. The page
             // count stays tiny (~70 mappings), so this is cheap.
             if matches!(policy, PolicyChoice::Huge1G) && scale != Scale::Quick {
-                cfg.mem_bytes = 80 << 30;
+                cfg.mem_bytes = ScenarioConfig::paper_scale().mem_bytes;
             }
             let mut scenario = NativeScenario::prepare(&spec, &cfg);
             let split = scenario.run(designs::haswell_split(), refs);

@@ -71,7 +71,7 @@ impl CacheLevel {
     /// Returns `true` on a hit.
     pub fn access(&mut self, pa: PhysAddr) -> bool {
         self.tick += 1;
-        let line = pa.raw() / self.config.line_bytes;
+        let line = pa.line_index(self.config.line_bytes);
         let set = (line % self.sets) as usize;
         let tag = line / self.sets;
         let ways = self.config.ways as usize;
@@ -95,7 +95,7 @@ impl CacheLevel {
 
     /// Probes without modifying state. Returns `true` if present.
     pub fn probe(&self, pa: PhysAddr) -> bool {
-        let line = pa.raw() / self.config.line_bytes;
+        let line = pa.line_index(self.config.line_bytes);
         let set = (line % self.sets) as usize;
         let tag = line / self.sets;
         let ways = self.config.ways as usize;

@@ -163,7 +163,7 @@ impl SharedCache {
 
     fn shard_of(&self, pa: PhysAddr) -> usize {
         // Slice by line number, like address-hashed LLC slices.
-        let line = pa.raw() / 64;
+        let line = pa.line_index(64);
         (line & self.shard_mask) as usize
     }
 

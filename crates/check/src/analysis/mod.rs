@@ -1,0 +1,394 @@
+//! Structural static analysis (`mixtlb-check --analyze`).
+//!
+//! Where [`crate::lint`] is a token-substring pass, this module is a
+//! small hand-rolled *front end*: the masked token stream
+//! ([`lexer`]) feeds an item/expression outline parser ([`outline`]),
+//! whose output builds a workspace symbol table ([`symbols`]) and a
+//! crate-level call graph ([`callgraph`]). On top run six semantic
+//! rules:
+//!
+//! | rule | checks | scope |
+//! |------|--------|-------|
+//! | `addr-arith` | no shift/mask/divide on `.raw()` address bits outside typed helpers | lib, except `mixtlb-types` |
+//! | `truncating-cast` | no `as u8`/`u16`/`u32` on raw address values | lib, except `mixtlb-types` |
+//! | `dead-code` | every exported symbol is referenced somewhere in the workspace | lib |
+//! | `lock-order` | the static lock-acquisition graph is acyclic | lib, except `crates/check` |
+//! | `pagesize-match` | no `_` wildcard arms in `PageSize` matches | lib |
+//! | `bare-unwrap` | no `.unwrap()` in non-test library code | lib |
+//!
+//! Unlike the lint pass there are **no inline suppression markers**:
+//! accepted findings live in one committed baseline file
+//! (`check-baseline.json`, see [`baseline`]) keyed by line-insensitive
+//! fingerprints, refreshed with `--update-baseline`, and audited through
+//! its git history. CI runs `--analyze` and fails on any finding not in
+//! the baseline.
+
+pub(crate) mod baseline;
+pub(crate) mod callgraph;
+pub(crate) mod lexer;
+pub(crate) mod lockorder;
+pub(crate) mod outline;
+pub(crate) mod rules;
+pub(crate) mod sarif;
+pub(crate) mod symbols;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lint::{classify, collect_rs_files, FileKind};
+use outline::{DeclKind, ParsedFile, Vis};
+
+pub use baseline::{fingerprint, Baseline};
+pub use sarif::{to_json, to_sarif};
+
+/// All analysis rule identifiers (order is the report order).
+pub const ANALYSIS_RULES: [&str; 6] = [
+    "addr-arith",
+    "truncating-cast",
+    "dead-code",
+    "lock-order",
+    "pagesize-match",
+    "bare-unwrap",
+];
+
+/// One input file for [`analyze_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (drives crate attribution and rule scope).
+    pub path: PathBuf,
+    /// Build classification.
+    pub kind: FileKind,
+    /// Full source text.
+    pub text: String,
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (one of [`ANALYSIS_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Explanation and suggested fix.
+    pub message: String,
+    /// Stable line-insensitive fingerprint (see [`baseline`]).
+    pub fingerprint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Front-end statistics for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisStats {
+    /// Files parsed.
+    pub files: usize,
+    /// Functions outlined.
+    pub functions: usize,
+    /// Module-level symbols tabled.
+    pub symbols: usize,
+    /// Call-graph edges resolved.
+    pub call_edges: usize,
+}
+
+/// Result of analyzing a file set.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Non-baselined findings, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Front-end statistics.
+    pub stats: AnalysisStats,
+    /// The extracted static lock-acquisition order, one edge per line
+    /// (`first -> second  (fn, file:line)`) — consumed by the dynamic
+    /// model checker's documentation and by humans.
+    pub lock_edges: Vec<String>,
+    /// Findings suppressed by the applied baseline.
+    pub baselined: usize,
+}
+
+impl AnalysisReport {
+    /// `true` when no findings remain.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Removes findings whose fingerprints the baseline accepts,
+    /// recording how many were suppressed.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) {
+        let before = self.findings.len();
+        self.findings.retain(|f| !baseline.contains(&f.fingerprint));
+        self.baselined += before - self.findings.len();
+    }
+}
+
+/// Analyzes an explicit file set (the fixture tests drive this directly;
+/// [`analyze_workspace`] feeds it from disk).
+pub fn analyze_sources(sources: &[SourceFile]) -> AnalysisReport {
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|s| ParsedFile::parse(&s.path, s.kind, &s.text))
+        .collect();
+    let table = symbols::SymbolTable::build(&parsed);
+    let graph = callgraph::CallGraph::build(&parsed);
+    let refs = callgraph::count_references(&parsed);
+    let locks = lockorder::LockOrderGraph::extract(&parsed);
+
+    let mut raw: Vec<(usize, &'static str, usize, String)> = Vec::new();
+
+    // File-local rules.
+    for (fi, file) in parsed.iter().enumerate() {
+        for f in rules::file_rules(file) {
+            raw.push((fi, f.rule, f.line as usize, f.message));
+        }
+    }
+
+    // dead-code: exported symbols nobody references.
+    for sym in &table.syms {
+        if sym.vis == Vis::Private || sym.name == "main" {
+            continue;
+        }
+        let referenced = refs.get(&sym.name).copied().unwrap_or(0) > 0;
+        if !referenced {
+            raw.push((
+                sym.file,
+                "dead-code",
+                sym.line as usize,
+                format!(
+                    "exported {} `{}` (crate `{}`) is never referenced \
+                     anywhere in the workspace — remove it or wire it into a \
+                     caller (resolution is name-based, so this symbol is \
+                     unreferenced even under aliasing)",
+                    kind_name(sym.kind),
+                    sym.name,
+                    sym.crate_name
+                ),
+            ));
+        }
+    }
+
+    // dead-code, method level: exported inherent methods resolve through
+    // the call graph (plus raw name references, for function pointers and
+    // docs-in-code). Trait-impl methods are exempt — they satisfy a trait
+    // contract and may only ever be reached by dynamic dispatch — and
+    // private methods are rustc's `dead_code` lint's job.
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        let file = &parsed[node.file];
+        let f = &file.fns[node.fn_idx];
+        // Module-level fns (incl. inside `mod` blocks) carry a matching
+        // `ItemDecl` and are handled by the symbol-table loop above;
+        // methods are the fns without one.
+        let is_method = !file
+            .items
+            .iter()
+            .any(|it| it.kind == DeclKind::Fn && it.name == f.name && it.line == f.line);
+        if file.kind != FileKind::Lib
+            || f.is_test
+            || f.body.is_none()
+            || f.in_trait_impl
+            || !is_method
+            || f.vis == Vis::Private
+        {
+            continue;
+        }
+        let referenced =
+            graph.in_degree[ni] > 0 || refs.get(&f.name).copied().unwrap_or(0) > 0;
+        if !referenced {
+            raw.push((
+                node.file,
+                "dead-code",
+                f.line as usize,
+                format!(
+                    "exported method `{}` (crate `{}`) has no caller in the \
+                     call graph and no name reference anywhere in the \
+                     workspace — remove it or wire it in",
+                    f.qual,
+                    symbols::crate_of(&file.path)
+                ),
+            ));
+        }
+    }
+
+    // lock-order: a cycle in the static acquisition graph.
+    if let Some(cycle) = &locks.cycle {
+        let on_cycle = |name: &str| cycle.iter().any(|c| c == name);
+        let witness = locks
+            .edges
+            .iter()
+            .find(|e| on_cycle(&e.first) && on_cycle(&e.second));
+        if let Some(e) = witness {
+            raw.push((
+                e.file,
+                "lock-order",
+                e.line as usize,
+                format!(
+                    "static lock-acquisition cycle {} (seen in `{}`): a \
+                     potential ABBA deadlock — impose one global order on \
+                     these locks",
+                    cycle.join(" -> "),
+                    e.in_fn
+                ),
+            ));
+        }
+    }
+
+    // Fingerprint against source line text, with per-identical-line
+    // occurrence indices, then sort.
+    let lines: Vec<Vec<&str>> = sources.iter().map(|s| s.text.lines().collect()).collect();
+    raw.sort_by(|a, b| (a.0, a.2, a.1).cmp(&(b.0, b.2, b.1)));
+    let mut occurrence: HashMap<(String, String, String), usize> = HashMap::new();
+    let mut findings = Vec::new();
+    for (fi, rule, line, message) in raw {
+        let path = &sources[fi].path;
+        let text = lines[fi]
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or("")
+            .trim()
+            .to_owned();
+        let path_str = path.display().to_string();
+        let key = (rule.to_owned(), path_str.clone(), text.clone());
+        let n = occurrence.entry(key).or_default();
+        let fp = fingerprint(rule, &path_str, &text, *n);
+        *n += 1;
+        findings.push(Finding {
+            rule,
+            path: path.clone(),
+            line,
+            message,
+            fingerprint: fp,
+        });
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let lock_edges = locks
+        .edges
+        .iter()
+        .map(|e| {
+            format!(
+                "{} -> {}  ({}, {}:{})",
+                e.first,
+                e.second,
+                e.in_fn,
+                parsed[e.file].path.display(),
+                e.line
+            )
+        })
+        .collect();
+
+    AnalysisReport {
+        findings,
+        stats: AnalysisStats {
+            files: parsed.len(),
+            functions: parsed.iter().map(|p| p.fns.len()).sum(),
+            symbols: table.syms.len(),
+            call_edges: graph.edges.len(),
+        },
+        lock_edges,
+        baselined: 0,
+    }
+}
+
+/// Walks the workspace at `root` and analyzes every `.rs` file outside
+/// `target/` and VCS metadata.
+pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let text = std::fs::read_to_string(&path)?;
+        sources.push(SourceFile {
+            kind: classify(&rel),
+            path: rel,
+            text,
+        });
+    }
+    Ok(analyze_sources(&sources))
+}
+
+/// Human-readable declaration kind.
+fn kind_name(kind: DeclKind) -> &'static str {
+    match kind {
+        DeclKind::Fn => "fn",
+        DeclKind::Struct => "struct",
+        DeclKind::Enum => "enum",
+        DeclKind::Trait => "trait",
+        DeclKind::Const => "const",
+        DeclKind::Static => "static",
+        DeclKind::TypeAlias => "type alias",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: PathBuf::from(path),
+            kind: classify(Path::new(path)),
+            text: text.to_owned(),
+        }
+    }
+
+    #[test]
+    fn dead_code_spans_crates() {
+        let report = analyze_sources(&[
+            src(
+                "crates/a/src/lib.rs",
+                "pub fn used() -> u64 { 1 }\npub fn lonely() -> u64 { 2 }\n",
+            ),
+            src("crates/b/src/lib.rs", "pub fn driver() -> u64 { used() }\n"),
+        ]);
+        let dead: Vec<&str> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "dead-code")
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(dead.len(), 2, "lonely and driver are unreferenced: {dead:?}");
+        assert!(dead.iter().any(|m| m.contains("`lonely`")));
+        assert!(dead.iter().any(|m| m.contains("`driver`")));
+    }
+
+    #[test]
+    fn baseline_suppresses_known_findings() {
+        let files = [src(
+            "crates/a/src/lib.rs",
+            "fn f(vpn: Vpn) -> u64 { vpn.raw() << 9 }\n",
+        )];
+        let mut report = analyze_sources(&files);
+        assert_eq!(report.findings.len(), 1);
+        let accepted = Baseline::parse(&Baseline::render(&report.findings));
+        report.apply_baseline(&accepted);
+        assert!(report.is_clean());
+        assert_eq!(report.baselined, 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let report = analyze_sources(&[src(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b() }\npub fn b() { a() }\n",
+        )]);
+        assert_eq!(report.stats.files, 1);
+        assert_eq!(report.stats.functions, 2);
+        assert_eq!(report.stats.symbols, 2);
+        assert_eq!(report.stats.call_edges, 2);
+    }
+}

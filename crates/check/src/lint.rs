@@ -254,12 +254,6 @@ pub fn lint_source(kind: FileKind, path: &Path, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Lints one file from disk, classifying it by path.
-pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
-    let source = fs::read_to_string(path)?;
-    Ok(lint_source(classify(path), path, &source))
-}
-
 /// Walks the workspace at `root` and lints every `.rs` file outside
 /// `target/` and VCS metadata.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
@@ -278,7 +272,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     Ok(report)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -302,7 +296,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Replaces comments, string literals and char literals with spaces
 /// (preserving byte offsets and newlines) so rules never fire on prose.
-fn mask_code(source: &str) -> String {
+pub(crate) fn mask_code(source: &str) -> String {
     let bytes = source.as_bytes();
     let mut out = source.as_bytes().to_vec();
     let mut i = 0;
@@ -415,7 +409,7 @@ fn mask_code(source: &str) -> String {
 
 /// Blanks `#[cfg(test)]`-guarded items (brace-matched from the attribute)
 /// in already comment-masked code.
-fn mask_test_blocks(code: &str) -> String {
+pub(crate) fn mask_test_blocks(code: &str) -> String {
     let mut out = code.as_bytes().to_vec();
     let mut search = 0;
     while let Some(off) = code[search..].find("#[cfg(test)]") {
@@ -451,7 +445,7 @@ fn mask_test_blocks(code: &str) -> String {
 }
 
 /// 1-based line number of a byte offset.
-fn line_of(code: &str, offset: usize) -> usize {
+pub(crate) fn line_of(code: &str, offset: usize) -> usize {
     code[..offset].bytes().filter(|&b| b == b'\n').count() + 1
 }
 

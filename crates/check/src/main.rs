@@ -2,21 +2,30 @@
 //!
 //! ```text
 //! mixtlb-check --lint [ROOT]     # token-level workspace lint pass
+//! mixtlb-check --analyze [ROOT]  # structural static analysis (6 semantic rules)
+//!               [--format text|json|sarif] [--baseline PATH]
+//!               [--update-baseline] [--locks]
 //! mixtlb-check --model           # bounded model-check of the shootdown protocol
-//! mixtlb-check --list-rules      # print the lint rule identifiers
+//! mixtlb-check --list-rules      # print lint + analysis rule identifiers
 //! ```
 //!
-//! `--lint` exits non-zero when any finding remains, so CI can gate on it.
-//! `--model` runs the time-boxed subset of the interleaving exploration
-//! (the full suites live in `cargo test -p mixtlb-check --features model`):
-//! the correct two-core shootdown protocol must pass *every* schedule up
-//! to the preemption bound, and each seeded bug must be caught.
+//! `--lint` and `--analyze` exit non-zero when any finding remains, so CI
+//! can gate on them. `--analyze` loads `ROOT/check-baseline.json` (or
+//! `--baseline PATH`) and reports only non-baselined findings;
+//! `--update-baseline` rewrites that file from the current findings —
+//! the committed diff is the audit trail. `--locks` additionally prints
+//! the extracted static lock-acquisition order. `--model` runs the
+//! time-boxed subset of the interleaving exploration (the full suites
+//! live in `cargo test -p mixtlb-check --features model`): the correct
+//! two-core shootdown protocol must pass *every* schedule up to the
+//! preemption bound, and each seeded bug must be caught.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mixtlb_check::analysis;
 use mixtlb_check::lint;
 use mixtlb_check::protocol::{SeededBug, ShootdownScenario};
 use mixtlb_check::sched::{Config, FailureKind};
@@ -25,19 +34,130 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--lint") => run_lint(args.get(1).map(PathBuf::from)),
+        Some("--analyze") => run_analyze(&args[1..]),
         Some("--model") => run_model(),
         Some("--list-rules") => {
             for rule in lint::RULES {
+                println!("{rule}");
+            }
+            for rule in analysis::ANALYSIS_RULES {
                 println!("{rule}");
             }
             ExitCode::SUCCESS
         }
         _ => {
             eprintln!(
-                "usage: mixtlb-check --lint [ROOT] | --model | --list-rules"
+                "usage: mixtlb-check --lint [ROOT] | --analyze [ROOT] \
+                 [--format text|json|sarif] [--baseline PATH] \
+                 [--update-baseline] [--locks] | --model | --list-rules"
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// Parses and runs `--analyze`; see the module docs for the contract.
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_owned();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut show_locks = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if ["text", "json", "sarif"].contains(&f.as_str()) => {
+                    format = f.clone();
+                }
+                _ => {
+                    eprintln!("analyze: --format needs text|json|sarif");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("analyze: --baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update_baseline = true,
+            "--locks" => show_locks = true,
+            other if !other.starts_with("--") && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("check-baseline.json"));
+
+    let mut report = match analysis::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        if let Err(e) = analysis::Baseline::write(&baseline_path, &report.findings) {
+            eprintln!("analyze: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "analyze: baseline {} updated with {} finding(s)",
+            baseline_path.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match analysis::Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("analyze: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    report.apply_baseline(&baseline);
+
+    match format.as_str() {
+        "json" => print!("{}", analysis::to_json(&report)),
+        "sarif" => print!("{}", analysis::to_sarif(&report)),
+        _ => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            if show_locks {
+                println!("analyze: static lock-acquisition order:");
+                if report.lock_edges.is_empty() {
+                    println!("  (no multi-lock functions outside crates/check)");
+                }
+                for edge in &report.lock_edges {
+                    println!("  {edge}");
+                }
+            }
+            println!(
+                "analyze: {} file(s), {} fn(s), {} symbol(s), {} call edge(s); \
+                 {} finding(s), {} baselined",
+                report.stats.files,
+                report.stats.functions,
+                report.stats.symbols,
+                report.stats.call_edges,
+                report.findings.len(),
+                report.baselined
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -556,7 +556,13 @@ fn run_once(cfg: &Config, sim: Sim, prefix: &[usize]) -> RunOutcome {
 }
 
 /// Detects a cycle in the held→acquired edge set; returns its nodes.
-fn find_cycle(edges: &HashSet<(u64, u64)>) -> Option<Vec<u64>> {
+///
+/// Shared with the *static* lock-order extraction in
+/// [`crate::analysis::lockorder`]: the dynamic explorer feeds it observed
+/// mutex-object-id edges, the analyzer feeds it interned lock-path ids
+/// from the whole-workspace acquisition-order graph, so both checkers
+/// agree on what an inversion is.
+pub(crate) fn find_cycle(edges: &HashSet<(u64, u64)>) -> Option<Vec<u64>> {
     let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
     for &(a, b) in edges {
         adj.entry(a).or_default().push(b);

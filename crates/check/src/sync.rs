@@ -299,3 +299,19 @@ pub mod instrumented {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::Event;
+
+    #[test]
+    fn event_set_is_observable_by_polling() {
+        // Outside an explorer the facade passes straight through to std:
+        // `is_set` must observe `set` without blocking in `wait`.
+        let ev = Event::new();
+        assert!(!ev.is_set());
+        ev.set();
+        assert!(ev.is_set());
+        ev.wait(); // already set: returns immediately
+    }
+}

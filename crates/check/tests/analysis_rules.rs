@@ -1,0 +1,208 @@
+//! Fixture self-tests for the structural analyzer: every semantic rule
+//! must fire on its seeded dirty fixture and stay silent on the paired
+//! clean fixture; the SARIF renderer must match its committed golden
+//! log byte-for-byte; and the real workspace, under the committed
+//! `check-baseline.json`, must analyze clean — the `--analyze` gate CI
+//! enforces.
+
+use std::path::{Path, PathBuf};
+
+use mixtlb_check::analysis::{analyze_sources, to_sarif, AnalysisReport, Baseline, SourceFile};
+use mixtlb_check::lint::FileKind;
+
+/// Wraps fixture text as a library file of a pseudo-crate, so crate
+/// attribution and rule scoping behave as they would on real sources.
+fn lib(pseudo_path: &str, text: &str) -> SourceFile {
+    SourceFile {
+        path: PathBuf::from(pseudo_path),
+        kind: FileKind::Lib,
+        text: text.to_owned(),
+    }
+}
+
+fn analyze(sources: &[SourceFile]) -> AnalysisReport {
+    analyze_sources(sources)
+}
+
+/// Distinct rule identifiers fired over a fixture set, sorted.
+fn rules_fired(sources: &[SourceFile]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> =
+        analyze(sources).findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn addr_arith_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/addr_arith_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["addr-arith"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings.len() >= 2,
+        "direct shift and let-propagated mask must both fire: {:?}",
+        report.findings
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/addr_arith_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn truncating_cast_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/truncating_cast_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["truncating-cast"]);
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/truncating_cast_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn dead_code_fixture_pair_spans_crates() {
+    let dirty = [
+        lib(
+            "crates/a/src/lib.rs",
+            include_str!("fixtures/analysis/dead_code_dirty_a.rs"),
+        ),
+        lib(
+            "crates/b/src/lib.rs",
+            include_str!("fixtures/analysis/dead_code_dirty_b.rs"),
+        ),
+    ];
+    assert_eq!(rules_fired(&dirty), ["dead-code"]);
+    let report = analyze(&dirty);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert!(f.message.contains("`orphan_probe`"), "{}", f.message);
+    assert_eq!(f.path, Path::new("crates/a/src/lib.rs"));
+    // `used_probe` survives because crate `b` references it by name.
+    let clean = [
+        lib(
+            "crates/a/src/lib.rs",
+            include_str!("fixtures/analysis/dead_code_clean_a.rs"),
+        ),
+        lib(
+            "crates/b/src/lib.rs",
+            include_str!("fixtures/analysis/dead_code_clean_b.rs"),
+        ),
+    ];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn lock_order_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/lock_order_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["lock-order"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings[0].message.contains("ABBA"),
+        "{}",
+        report.findings[0].message
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/lock_order_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+    // The acyclic order is still extracted for `--locks` / the dynamic
+    // checker's documentation.
+    let clean_report = analyze(&clean);
+    assert!(
+        clean_report
+            .lock_edges
+            .iter()
+            .any(|e| e.contains("s.alpha -> s.beta")),
+        "{:?}",
+        clean_report.lock_edges
+    );
+}
+
+#[test]
+fn pagesize_match_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/pagesize_match_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["pagesize-match"]);
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/pagesize_match_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn bare_unwrap_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/bare_unwrap_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["bare-unwrap"]);
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/bare_unwrap_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+/// The SARIF log for the addr-arith dirty fixture, byte-for-byte. The
+/// fingerprints inside are line-insensitive, so this golden only churns
+/// when the rule's *output contract* changes — regenerate deliberately
+/// with `UPDATE_SARIF_GOLDEN=1 cargo test -p mixtlb-check sarif_golden`.
+#[test]
+fn sarif_golden_is_stable() {
+    let report = analyze(&[lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/addr_arith_dirty.rs"),
+    )]);
+    let sarif = to_sarif(&report);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/analysis/addr_arith_dirty.sarif");
+    if std::env::var_os("UPDATE_SARIF_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &sarif).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden");
+    assert_eq!(
+        sarif, golden,
+        "SARIF drifted from the committed golden; rerun with \
+         UPDATE_SARIF_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// The gate CI runs: the workspace itself, under the committed baseline,
+/// has zero findings. If this fails, fix the finding in code — or, for
+/// a deliberate acceptance, run `--analyze . --update-baseline` and
+/// commit the diff.
+#[test]
+fn workspace_is_analysis_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut report =
+        mixtlb_check::analysis::analyze_workspace(&root).expect("walk workspace");
+    let baseline =
+        Baseline::load(&root.join("check-baseline.json")).expect("read baseline");
+    report.apply_baseline(&baseline);
+    assert!(
+        report.is_clean(),
+        "non-baselined analysis findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.stats.files > 100, "workspace walk looks truncated");
+}

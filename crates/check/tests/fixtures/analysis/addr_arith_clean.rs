@@ -1,0 +1,19 @@
+//! Clean fixture for `addr-arith`: the same geometry routed through the
+//! typed `mixtlb-types` helpers, plus the closure-pipe and plain-integer
+//! shapes the rule must not confuse with masks.
+
+/// The typed helper owns the shift/mask; its result is a plain index.
+fn slot_of(vpn: Vpn) -> usize {
+    vpn.table_index(1)
+}
+
+/// Closure parameter bars are delimiters, not binary ORs, even with a
+/// raw-tainted body.
+fn host_of(gpa: PhysAddr) -> Option<u64> {
+    lookup(gpa).and_then(|h| translate(gpa.raw()))
+}
+
+/// Arithmetic on non-address integers is out of scope.
+fn ways_mask(ways: usize) -> usize {
+    (ways << 1) - 1
+}

@@ -1,0 +1,14 @@
+//! Dirty fixture for `addr-arith`: open-coded page geometry on raw
+//! address bits. Both functions below must fire — one directly on a
+//! `.raw()` call, one through a `let`-bound raw local.
+
+/// Re-implements `Vpn::table_index` by hand.
+fn slot_of(vpn: Vpn) -> u64 {
+    (vpn.raw() >> 9) & 0x1FF
+}
+
+/// Taint flows through the local binding: `bits` carries raw bits.
+fn page_base(pa: PhysAddr) -> u64 {
+    let bits = pa.raw();
+    bits & !0xFFF
+}

@@ -1,0 +1,16 @@
+//! Clean fixture for `bare-unwrap`: the library path propagates the
+//! option; unwraps inside `#[cfg(test)]` are masked out.
+
+/// Surfaces emptiness to the caller.
+fn head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = [1u64];
+        assert_eq!(super::head(&xs).unwrap(), 1);
+    }
+}

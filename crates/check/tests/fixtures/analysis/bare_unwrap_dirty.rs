@@ -1,0 +1,8 @@
+//! Dirty fixture for `bare-unwrap`: a `.unwrap()` in non-test library
+//! code. No inline suppression exists for this rule — only the
+//! committed baseline.
+
+/// Panics on an empty slice instead of surfacing the case.
+fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Clean fixture for `dead-code`, crate `a`: every exported symbol has a
+//! cross-crate reference.
+
+/// Referenced by `entry` in the `b` fixture.
+pub fn used_probe() -> u64 {
+    7
+}

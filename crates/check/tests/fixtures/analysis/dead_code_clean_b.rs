@@ -1,0 +1,7 @@
+//! Clean fixture for `dead-code`, crate `b`: the cross-crate caller that
+//! keeps crate `a`'s export alive.
+
+/// Private driver; references `used_probe` across the crate boundary.
+fn entry() -> u64 {
+    used_probe()
+}

@@ -1,0 +1,12 @@
+//! Dirty fixture for `dead-code`, crate `a`: one exported function is
+//! referenced from crate `b`, the other from nowhere in the workspace.
+
+/// Referenced cross-crate by `entry` in the `b` fixture.
+pub fn used_probe() -> u64 {
+    7
+}
+
+/// No caller and no name reference anywhere — must be flagged.
+pub fn orphan_probe() -> u64 {
+    8
+}

@@ -1,0 +1,8 @@
+//! Dirty fixture for `dead-code`, crate `b`: references `used_probe`
+//! cross-crate so only `orphan_probe` in crate `a` stays unreferenced.
+
+/// Private, so rustc's own `dead_code` lint owns it — the analyzer
+/// only polices *exported* symbols.
+fn entry() -> u64 {
+    used_probe()
+}

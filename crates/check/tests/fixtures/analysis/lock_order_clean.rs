@@ -1,0 +1,15 @@
+//! Clean fixture for `lock-order`: every multi-lock function acquires
+//! in the same global order, so the acquisition graph is acyclic (the
+//! edges still appear in the extracted order for `--locks`).
+
+/// Acquires `alpha` then `beta`.
+fn forward(s: &Shards) {
+    let _a = s.alpha.lock();
+    let _b = s.beta.lock();
+}
+
+/// Same order from a second site: one more edge, still no cycle.
+fn also_forward(s: &Shards) {
+    let _a = s.alpha.lock();
+    let _b = s.beta.lock();
+}

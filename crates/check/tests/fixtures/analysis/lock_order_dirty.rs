@@ -1,0 +1,15 @@
+//! Dirty fixture for `lock-order`: two functions acquire the same pair
+//! of locks in opposite orders — the classic ABBA deadlock shape the
+//! static acquisition graph must reject.
+
+/// Acquires `alpha` then `beta`.
+fn forward(s: &Shards) {
+    let _a = s.alpha.lock();
+    let _b = s.beta.lock();
+}
+
+/// Acquires `beta` then `alpha` — closes the cycle.
+fn backward(s: &Shards) {
+    let _b = s.beta.lock();
+    let _a = s.alpha.lock();
+}

@@ -1,0 +1,19 @@
+//! Clean fixture for `pagesize-match`: every `PageSize` variant listed,
+//! and a wildcard over an unrelated enum stays out of scope.
+
+/// Exhaustive size dispatch — a new variant breaks the build here.
+fn pages(size: PageSize) -> u64 {
+    match size {
+        PageSize::Size4K => 1,
+        PageSize::Size2M => 512,
+        PageSize::Size1G => 262_144,
+    }
+}
+
+/// Wildcards over non-`PageSize` scrutinees are fine.
+fn or_zero(x: Option<u64>) -> u64 {
+    match x {
+        Some(v) => v,
+        _ => 0,
+    }
+}

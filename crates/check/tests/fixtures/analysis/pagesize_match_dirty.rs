@@ -1,0 +1,11 @@
+//! Dirty fixture for `pagesize-match`: a size dispatch hiding variants
+//! behind a wildcard — adding a fourth page size would silently fall
+//! into the default instead of breaking the build here.
+
+/// Returns 4 KB pages per mapping of `size`.
+fn pages(size: PageSize) -> u64 {
+    match size {
+        PageSize::Size4K => 1,
+        _ => 512,
+    }
+}

@@ -1,0 +1,12 @@
+//! Clean fixture for `truncating-cast`: narrowing non-address integers
+//! is fine, and checked conversion of raw bits is the endorsed shape.
+
+/// A plain count may narrow.
+fn ways(ways: usize) -> u32 {
+    ways as u32
+}
+
+/// Checked conversion keeps overflow an error, not silent bit loss.
+fn low_bits(pfn: Pfn) -> Option<u32> {
+    u32::try_from(pfn.raw()).ok()
+}

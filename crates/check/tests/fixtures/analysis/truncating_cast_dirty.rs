@@ -1,0 +1,7 @@
+//! Dirty fixture for `truncating-cast`: a raw address value narrowed
+//! with `as`, silently dropping high bits.
+
+/// Drops bits 32.. of the frame number without a check.
+fn low_bits(pfn: Pfn) -> u32 {
+    pfn.raw() as u32
+}

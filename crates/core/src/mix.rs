@@ -105,7 +105,9 @@ impl MixTlbConfig {
             sets,
             ways,
             kind: CoalesceKind::Bitmap,
-            super_bundle: sets as u32,
+            super_bundle: u32::try_from(sets)
+                // lint: allow(panic) — set counts are small powers of two; a 4-billion-set TLB is not a meaningful geometry
+                .expect("set count exceeds u32"),
             small_bundle: 1,
             fill_merge: FillMerge::ProbedSetOnly,
             mirror_policy: MirrorPolicy::Evicting,
@@ -121,7 +123,9 @@ impl MixTlbConfig {
             sets,
             ways,
             kind: CoalesceKind::Length,
-            super_bundle: sets as u32,
+            super_bundle: u32::try_from(sets)
+                // lint: allow(panic) — set counts are small powers of two; a 4-billion-set TLB is not a meaningful geometry
+                .expect("set count exceeds u32"),
             small_bundle: 1,
             fill_merge: FillMerge::AllSets,
             mirror_policy: MirrorPolicy::NonEvicting,
@@ -289,25 +293,38 @@ impl MixTlb {
     /// The probed set for a 4 KB virtual page — one probe, no page size
     /// needed (the design's point; paper Fig. 4).
     fn set_of(&self, vpn: Vpn) -> usize {
-        ((vpn.raw() >> self.index_shift()) as usize) & (self.config.sets - 1)
+        (vpn.index_bits(self.index_shift()) as usize) & (self.config.sets - 1)
     }
 
-    fn bundle_pages(&self, size: PageSize) -> u64 {
-        let count = if size.is_superpage() {
+    /// Number of bundle positions for `size`: the configured
+    /// `super_bundle` for superpages, `small_bundle` for 4 KB pages.
+    /// Derived straight from the validated config fields — no narrowing
+    /// arithmetic on page counts.
+    fn bundle_count(&self, size: PageSize) -> u32 {
+        if size.is_superpage() {
             self.config.super_bundle
         } else {
             self.config.small_bundle
-        };
-        u64::from(count) * size.pages_4k()
+        }
+    }
+
+    fn bundle_pages(&self, size: PageSize) -> u64 {
+        u64::from(self.bundle_count(size)) * size.pages_4k()
     }
 
     fn bundle_base(&self, vpn: Vpn, size: PageSize) -> Vpn {
-        Vpn::new(vpn.raw() & !(self.bundle_pages(size) - 1))
+        vpn.align_down_pages(self.bundle_pages(size))
     }
 
     fn pos_of(&self, vpn: Vpn, size: PageSize) -> u32 {
         let base = self.bundle_base(vpn, size);
-        ((vpn.raw() - base.raw()) / size.pages_4k()) as u32
+        let pos = vpn
+            .page_offset_from(base, size)
+            // lint: allow(panic) — bundle_base aligns downward, so vpn >= base by construction
+            .expect("vpn precedes its own bundle base");
+        u32::try_from(pos)
+            // lint: allow(panic) — bundle positions are bounded by the validated bundle size (<= 128)
+            .expect("bundle position exceeds the validated bundle size")
     }
 
     /// Merges same-tag duplicate entries in a set into the first, removing
@@ -356,7 +373,7 @@ impl MixTlb {
         if regions_per_page >= self.config.sets as u64 {
             return (0..self.config.sets).collect();
         }
-        let bundle_count = (self.bundle_pages(size) / size.pages_4k()) as u32;
+        let bundle_count = self.bundle_count(size);
         let mut sets = BTreeSet::new();
         for pos in 0..bundle_count {
             if !map.contains(pos) {
@@ -386,7 +403,7 @@ impl MixTlb {
             .pfn
             .raw()
             .wrapping_sub(requested.vpn.raw() - base.raw());
-        let bundle_count = (self.bundle_pages(size) / size.pages_4k()) as u32;
+        let bundle_count = self.bundle_count(size);
         let mut positions: Vec<(u32, bool)> = Vec::with_capacity(line.len().max(1));
         let push = |t: &Translation, positions: &mut Vec<(u32, bool)>| {
             if t.size == size
@@ -505,7 +522,7 @@ impl MixTlb {
         self.stats.record_hit(e.size);
         // The maximal contiguous run around the hit: what an inner MIX TLB
         // can absorb on refill.
-        let bundle_count = (self.bundle_pages(e.size) / e.size.pages_4k()) as u32;
+        let bundle_count = self.bundle_count(e.size);
         let mut run_start = pos;
         while run_start > 0 && e.map.contains(run_start - 1) {
             run_start -= 1;
@@ -698,7 +715,7 @@ impl MixTlb {
         let entries = self.collect_entries();
         // 1. Per-entry representation and extent.
         for &(set, way, e) in &entries {
-            let bundle_count = (self.bundle_pages(e.size) / e.size.pages_4k()) as u32;
+            let bundle_count = self.bundle_count(e.size);
             match (self.config.kind, e.map) {
                 (CoalesceKind::Bitmap, Map::Bits(bits)) => {
                     if bits == 0 {
@@ -916,7 +933,7 @@ impl TlbDevice for MixTlb {
             if !e.map.contains(pos) {
                 continue;
             }
-            let bundle_count = (self.bundle_pages(e.size) / e.size.pages_4k()) as u32;
+            let bundle_count = self.bundle_count(e.size);
             let mut run_start = pos;
             while run_start > 0 && e.map.contains(run_start - 1) {
                 run_start -= 1;

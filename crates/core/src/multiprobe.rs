@@ -113,7 +113,7 @@ impl MultiProbeTlb {
     }
 
     fn set_of(&self, vpn: Vpn, size: PageSize) -> usize {
-        let idx = vpn.raw() >> (size.shift() - 12);
+        let idx = vpn.page_number(size);
         (idx as usize) & (self.config.sets - 1)
     }
 

@@ -102,7 +102,7 @@ impl SingleSizeTlb {
     }
 
     fn set_of(&self, base: Vpn) -> usize {
-        let idx = base.raw() >> (self.config.size.shift() - 12);
+        let idx = base.page_number(self.config.size);
         (idx as usize) & (self.config.sets - 1)
     }
 

@@ -207,7 +207,7 @@ impl PhysicalMemory {
     /// and is O(window / 2 MB); smaller windows scan frame states directly.
     pub fn window_occupancy(&self, base: Pfn, order: u8) -> (u64, u64) {
         if order >= 9 && base.raw().is_multiple_of(512) {
-            let first = (base.raw() / 512) as usize;
+            let first = base.page_number(PageSize::Size2M) as usize;
             let count = 1usize << (order - 9);
             let last = (first + count).min(self.window_movable.len());
             let mut movable = 0u64;
@@ -359,7 +359,7 @@ impl PhysicalMemory {
     }
 
     fn order_for(size: PageSize) -> u8 {
-        (size.shift() - 12) as u8
+        size.buddy_order()
     }
 
     fn mark(&mut self, base: u64, order: u8, kind: FrameKind) {
@@ -444,6 +444,7 @@ mod tests {
         // Occupy a frame in window [512, 1024) with movable data.
         mem.alloc_block_at(Pfn::new(700), 0, FrameKind::Movable).unwrap();
         let outcome = mem.compact_window(Pfn::new(512), 9, FrameKind::Movable, 512);
+        assert!(outcome.is_freed());
         match outcome {
             CompactionOutcome::Freed { relocations } => {
                 assert_eq!(relocations.len(), 1);

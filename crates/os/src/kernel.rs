@@ -214,7 +214,7 @@ impl Kernel {
         let mut pool = Vec::new();
         let want = bytes / size.bytes();
         let mut hint: Option<u64> = None;
-        let order = (size.shift() - 12) as u8;
+        let order = size.buddy_order();
         for _ in 0..want {
             let next = hint.and_then(|h| {
                 self.mem
@@ -293,7 +293,7 @@ impl Kernel {
         if let Some((size, bytes)) = policy.pool_request() {
             pool_size = Some(size);
             let want = bytes / size.bytes();
-            let order = (size.shift() - 12) as u8;
+            let order = size.buddy_order();
             let mut hint: Option<u64> = None;
             for _ in 0..want {
                 // Continue right after the previous page when possible, so
@@ -654,6 +654,19 @@ mod tests {
         assert_eq!(k.fault_all(s), 1024);
         assert_eq!(k.space(s).page_table().mapped_counts(), (1024, 0, 0));
         assert_eq!(k.space(s).stats().mapped_4k, 1024);
+    }
+
+    #[test]
+    fn mutable_space_access_reaches_page_table() {
+        let mut k = kernel_mb(64);
+        let s = k.create_space(PagingPolicy::SmallOnly);
+        assert_eq!(k.space_count(), 1);
+        k.mmap(s, Vpn::new(0x400), 16, rw()).unwrap();
+        assert_eq!(k.fault_all(s), 16);
+        // The mutable accessors expose the live table: dirtying a mapped
+        // page through them must report the backing PTE address.
+        let pa = k.space_mut(s).page_table_mut().set_dirty(Vpn::new(0x400));
+        assert!(pa.is_some(), "mapped vpn must have a PTE to dirty");
     }
 
     #[test]

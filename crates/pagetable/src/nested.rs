@@ -104,7 +104,7 @@ impl NestedWalker {
         for level in (0..=3u8).rev() {
             let idx = PageTable::index_at(vpn, level);
             let node_pfn = guest.nodes()[node].pfn;
-            let gpa_pte = PhysAddr::new((node_pfn.raw() << 12) + (idx as u64) * 8);
+            let gpa_pte = PhysAddr::pte_address(node_pfn, idx);
             // The guest PTE lives at a guest-physical address: translate it
             // through the host table (a full host walk).
             let gpn = mixtlb_types::Vpn::new(gpa_pte.pfn().raw());
@@ -244,12 +244,12 @@ impl NestedWalker {
     ) -> Vec<Translation> {
         let line_start = idx & !7;
         let pages_per_entry = 1u64 << (9 * u64::from(level));
-        let node_base = vpn.raw() & !((pages_per_entry << 9) - 1);
+        let node_base = vpn.align_down_pages(pages_per_entry << 9);
         let mut out = Vec::new();
         for i in line_start..line_start + 8 {
             if let Entry::Leaf(leaf) = &guest.nodes()[node].entries[i] {
                 if let Some(gsize) = PageSize::from_level(level) {
-                    let entry_vpn = Vpn::new(node_base + (i as u64) * pages_per_entry);
+                    let entry_vpn = node_base.add_4k((i as u64) * pages_per_entry);
                     let gtrans = Translation {
                         vpn: entry_vpn,
                         pfn: leaf.pfn,

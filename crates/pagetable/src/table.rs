@@ -163,7 +163,7 @@ impl PageTable {
     /// Index of `vpn` within a node at `level`.
     #[inline]
     pub(crate) fn index_at(vpn: Vpn, level: u8) -> usize {
-        ((vpn.raw() >> (9 * u64::from(level))) & 0x1FF) as usize
+        vpn.table_index(level)
     }
 
     /// Installs a mapping.
@@ -370,7 +370,7 @@ impl PageTable {
         let mut node = Self::ROOT;
         for level in (0..=3u8).rev() {
             let idx = Self::index_at(vpn, level);
-            let pte_addr = (self.nodes[node].pfn.raw() << 12) + (idx as u64) * 8;
+            let pte_addr = mixtlb_types::PhysAddr::pte_address(self.nodes[node].pfn, idx);
             match &mut self.nodes[node].entries[idx] {
                 Entry::Table(child) => node = *child,
                 Entry::Leaf(leaf) => {
@@ -378,7 +378,7 @@ impl PageTable {
                         return None;
                     }
                     leaf.dirty = true;
-                    return Some(mixtlb_types::PhysAddr::new(pte_addr));
+                    return Some(pte_addr);
                 }
                 Entry::Empty => return None,
             }

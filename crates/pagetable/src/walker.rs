@@ -45,7 +45,7 @@ impl Walker {
         for level in (0..=3u8).rev() {
             let idx = PageTable::index_at(vpn, level);
             let node_pfn = pt.nodes()[node].pfn;
-            let pte_addr = PhysAddr::new((node_pfn.raw() << 12) + (idx as u64) * 8);
+            let pte_addr = PhysAddr::pte_address(node_pfn, idx);
             pte_reads.push(pte_addr);
             let entry = pt.nodes()[node].entries[idx].clone();
             match entry {
@@ -117,13 +117,13 @@ impl Walker {
         let line_start = idx & !7;
         let pages_per_entry = 1u64 << (9 * u64::from(level));
         // VPN of entry 0 of this node at this level's granularity.
-        let node_base = vpn.raw() & !((pages_per_entry << 9) - 1);
+        let node_base = vpn.align_down_pages(pages_per_entry << 9);
         let mut out = Vec::with_capacity(8);
         for i in line_start..line_start + 8 {
             if let Entry::Leaf(leaf) = &pt.nodes()[node].entries[i] {
                 if let Some(size) = PageSize::from_level(level) {
                     out.push(Translation {
-                        vpn: Vpn::new(node_base + (i as u64) * pages_per_entry),
+                        vpn: node_base.add_4k((i as u64) * pages_per_entry),
                         pfn: leaf.pfn,
                         size,
                         perms: leaf.perms,

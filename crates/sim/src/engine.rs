@@ -452,6 +452,15 @@ mod tests {
         )
     }
 
+    #[test]
+    fn with_entries_overrides_leakage_accounting() {
+        let h = hierarchy();
+        let derived = h.total_entries();
+        assert!(derived > 0);
+        let h = h.with_entries(1000);
+        assert_eq!(h.total_entries(), 1000);
+    }
+
     fn ev(va: u64, kind: AccessKind) -> TraceEvent {
         TraceEvent {
             pc: 0x40_0000,

@@ -262,7 +262,7 @@ impl NativeScenario {
         interval: u64,
     ) -> PerfReport {
         assert!(interval > 0, "flush interval must be non-zero");
-        let mut pt = self.kernel.space(self.space).page_table().clone();
+        let mut pt = self.clone_page_table();
         let design = hierarchy.name().to_owned();
         let total_entries = hierarchy.total_entries();
         let mut engine = TranslationEngine::new(hierarchy, WalkBackend::Native(&mut pt));
@@ -299,7 +299,7 @@ impl NativeScenario {
         interval: u64,
     ) -> PerfReport {
         assert!(interval > 0, "switch interval must be non-zero");
-        let mut pt = self.kernel.space(self.space).page_table().clone();
+        let mut pt = self.clone_page_table();
         let design = hierarchy.name().to_owned();
         let total_entries = hierarchy.total_entries();
         let mut engine = TranslationEngine::new(hierarchy, WalkBackend::Native(&mut pt));
@@ -340,7 +340,7 @@ impl NativeScenario {
         refs: u64,
         configure: impl FnOnce(&mut TranslationEngine<'_>),
     ) -> PerfReport {
-        let mut pt = self.kernel.space(self.space).page_table().clone();
+        let mut pt = self.clone_page_table();
         let design = hierarchy.name().to_owned();
         let total_entries = hierarchy.total_entries();
         let mut engine = TranslationEngine::new(hierarchy, WalkBackend::Native(&mut pt));
@@ -366,6 +366,9 @@ mod tests {
         let s = NativeScenario::prepare(&spec("gups"), &ScenarioConfig::quick());
         let d = s.distribution();
         assert!(d.superpage_fraction() > 0.95, "{d:?}");
+        // The fault-path counters must agree: a clean THS run maps 2 MB pages.
+        let fs = s.fault_stats();
+        assert!(fs.mapped_2m > 0, "{fs:?}");
     }
 
     #[test]

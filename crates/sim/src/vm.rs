@@ -271,6 +271,12 @@ mod tests {
         let s = VirtScenario::prepare(&spec(), &VirtConfig::quick());
         let d = s.effective_distribution(0);
         assert!(d.superpage_fraction() > 0.9, "{d:?}");
+        // A clean guest on a clean host has real 2 MB contiguity in both
+        // dimensions, and the guest view never claims more translations
+        // than its own raw page table holds.
+        let (guest, host) = s.debug_contiguity(0, PageSize::Size2M);
+        assert!(guest.translations() > 0, "{guest:?}");
+        assert!(host.translations() > 0, "{host:?}");
     }
 
     #[test]

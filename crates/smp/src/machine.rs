@@ -145,10 +145,10 @@ impl SmpMachine {
             let mut tables = ShootdownTables::default();
             for size in PageSize::ALL {
                 let code = size.encode() as usize;
-                let own = widths[i].by_size[code];
+                let own = widths[i].for_size(size);
                 let remote_sets: Vec<u64> = (0..n)
                     .filter(|&j| j != i)
-                    .map(|j| widths[j].by_size[code])
+                    .map(|j| widths[j].for_size(size))
                     .collect();
                 tables.initiated_cost_by_size[code] = model.initiator_cost(own, &remote_sets);
                 tables.global_sets_by_size[code] = own + remote_sets.iter().sum::<u64>();

@@ -8,6 +8,12 @@ use crate::page::{PageSize, Pfn, Vpn, PAGE_SHIFT};
 /// Number of virtual-address bits modeled (x86-64 canonical lower half).
 pub(crate) const VA_BITS: u32 = 48;
 
+/// Size of one page-table entry in bytes (x86-64 long mode).
+pub const PTE_BYTES: u64 = 8;
+
+/// Number of PTEs per page-table node (one 4 KB frame of 8-byte entries).
+pub const PTES_PER_NODE: usize = 512;
+
 macro_rules! address {
     ($(#[$doc:meta])* $name:ident, $page:ident, $page_method:ident) => {
         $(#[$doc])*
@@ -61,6 +67,14 @@ macro_rules! address {
             #[inline]
             pub const fn cache_line_base(self) -> Self {
                 Self(self.0 & !63)
+            }
+
+            /// Index of the `line_bytes`-sized cache line containing this
+            /// address — the typed replacement for hand-rolled
+            /// `raw() / line_bytes` in cache set indexing.
+            #[inline]
+            pub const fn line_index(self, line_bytes: u64) -> u64 {
+                self.0 / line_bytes
             }
         }
 
@@ -133,6 +147,33 @@ impl VirtAddr {
     }
 }
 
+impl PhysAddr {
+    /// The physical address of the `index`-th PTE inside the page-table
+    /// node backed by `frame` — the typed replacement for hand-rolled
+    /// `(pfn << 12) + idx * 8` in walker code. Every PTE read/write the
+    /// simulator issues to the cache hierarchy goes through this.
+    ///
+    /// ```
+    /// use mixtlb_types::{Pfn, PhysAddr};
+    ///
+    /// let pte = PhysAddr::pte_address(Pfn::new(0x30), 5);
+    /// assert_eq!(pte, PhysAddr::new(0x30_028));
+    /// assert_eq!(pte.pfn(), Pfn::new(0x30));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 512` (a node frame holds exactly 512 PTEs).
+    #[inline]
+    pub fn pte_address(frame: Pfn, index: usize) -> PhysAddr {
+        assert!(
+            index < PTES_PER_NODE,
+            "PTE index {index} exceeds the 512 entries of a node frame"
+        );
+        PhysAddr::from_page(frame, (index as u64) * PTE_BYTES)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +206,31 @@ mod tests {
         let pa = PhysAddr::new(0x1000 + 72);
         assert_eq!(pa.cache_line_offset(), 8);
         assert_eq!(pa.cache_line_base(), PhysAddr::new(0x1040));
+        assert_eq!(pa.line_index(64), (0x1000 + 72) / 64);
+        assert_eq!(pa.line_index(128), (0x1000 + 72) / 128);
+    }
+
+    #[test]
+    fn pte_addresses() {
+        // Entry 0 sits at the node frame's base; entry 511 at its top.
+        assert_eq!(
+            PhysAddr::pte_address(Pfn::new(7), 0),
+            PhysAddr::from_page(Pfn::new(7), 0)
+        );
+        assert_eq!(
+            PhysAddr::pte_address(Pfn::new(7), 511),
+            PhysAddr::from_page(Pfn::new(7), 511 * PTE_BYTES)
+        );
+        // Eight PTEs share one 64-byte cache line.
+        let a = PhysAddr::pte_address(Pfn::new(7), 8);
+        let b = PhysAddr::pte_address(Pfn::new(7), 15);
+        assert_eq!(a.cache_line_base(), b.cache_line_base());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 512 entries")]
+    fn pte_address_rejects_out_of_node_indices() {
+        let _ = PhysAddr::pte_address(Pfn::new(1), PTES_PER_NODE);
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod page;
 mod perms;
 mod pte;
 
-pub use addr::{PhysAddr, VirtAddr};
+pub use addr::{PhysAddr, VirtAddr, PTES_PER_NODE, PTE_BYTES};
 pub use asid::Asid;
 pub use page::{PageSize, Pfn, Vpn, PAGE_SHIFT, PAGE_SIZE_4K};
 pub use perms::{AccessKind, Permissions};

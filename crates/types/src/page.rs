@@ -98,6 +98,15 @@ impl PageSize {
             _ => None,
         }
     }
+
+    /// Buddy-allocator order of this page size: log2 of its 4 KB page
+    /// count (0, 9, or 18). This is the `order` argument every
+    /// buddy/physical-memory call takes — the typed replacement for
+    /// hand-rolled `(size.shift() - 12) as u8`.
+    #[inline]
+    pub const fn buddy_order(self) -> u8 {
+        (self.shift() - PAGE_SHIFT) as u8
+    }
 }
 
 impl fmt::Display for PageSize {
@@ -166,6 +175,78 @@ macro_rules! page_number {
             #[inline]
             pub fn checked_sub(self, other: Self) -> Option<u64> {
                 self.0.checked_sub(other.0)
+            }
+
+            /// The `size`-granular page number of this 4 KB page number
+            /// (drops the low index bits) — the typed replacement for
+            /// hand-rolled `raw() >> (size.shift() - 12)`.
+            ///
+            /// ```
+            /// # use mixtlb_types::{PageSize, Vpn};
+            /// assert_eq!(Vpn::new(0x400 + 37).page_number(PageSize::Size2M), 2);
+            /// assert_eq!(Vpn::new(5).page_number(PageSize::Size4K), 5);
+            /// ```
+            #[inline]
+            pub const fn page_number(self, size: PageSize) -> u64 {
+                self.0 >> (size.shift() - PAGE_SHIFT)
+            }
+
+            /// x86-64 radix page-table index of this page number at
+            /// `level` (9 bits per level; level 0 = PT, 1 = PD, 2 = PDPT,
+            /// 3 = PML4) — the typed replacement for hand-rolled
+            /// `(raw() >> (9 * level)) & 0x1FF`.
+            ///
+            /// ```
+            /// # use mixtlb_types::Vpn;
+            /// let v = Vpn::new((3 << 9) | 7);
+            /// assert_eq!(v.table_index(0), 7);
+            /// assert_eq!(v.table_index(1), 3);
+            /// assert_eq!(v.table_index(3), 0);
+            /// ```
+            #[inline]
+            pub const fn table_index(self, level: u8) -> usize {
+                ((self.0 >> (9 * level as u32)) & 0x1FF) as usize
+            }
+
+            /// The page number with its `bits` low bits dropped — the set
+            /// index bit extraction used by set-associative TLB indexing
+            /// (shift 0 indexes at small-page granularity; shift 9 with the
+            /// 2 MB superpage's bits, the rejected alternative of the
+            /// paper's Sec. 3).
+            #[inline]
+            pub const fn index_bits(self, bits: u32) -> u64 {
+                self.0 >> bits
+            }
+
+            /// Aligns down to a multiple of `pages` 4 KB pages (`pages`
+            /// must be a power of two) — the generalized
+            /// [`align_down`](Self::align_down) used by bundle framing,
+            /// where the extent is `bundle × page-size` rather than one
+            /// architectural page size.
+            #[inline]
+            pub fn align_down_pages(self, pages: u64) -> Self {
+                debug_assert!(pages.is_power_of_two(), "alignment must be a power of two");
+                Self(self.0 & !(pages - 1))
+            }
+
+            /// Index of the `pages`-sized chunk of the page-number space
+            /// containing this page (plain Euclidean division; `pages` need
+            /// not be a power of two).
+            #[inline]
+            pub const fn chunk_index(self, pages: u64) -> u64 {
+                self.0 / pages
+            }
+
+            /// Number of whole `unit`-sized pages between `base` and
+            /// `self`, or `None` when `base > self`. This is the paper's
+            /// bundle-position arithmetic: which `unit`-page of the bundle
+            /// framed at `base` contains `self`.
+            #[inline]
+            pub fn page_offset_from(self, base: Self, unit: PageSize) -> Option<u64> {
+                match self.0.checked_sub(base.0) {
+                    Some(delta) => Some(delta / unit.pages_4k()),
+                    None => None,
+                }
             }
         }
 
@@ -276,6 +357,50 @@ mod tests {
         assert_eq!(v.add_4k(5), Vpn::new(15));
         assert_eq!(Vpn::new(15).checked_sub(v), Some(5));
         assert_eq!(v.checked_sub(Vpn::new(15)), None);
+    }
+
+    #[test]
+    fn buddy_orders() {
+        assert_eq!(PageSize::Size4K.buddy_order(), 0);
+        assert_eq!(PageSize::Size2M.buddy_order(), 9);
+        assert_eq!(PageSize::Size1G.buddy_order(), 18);
+        for size in PageSize::ALL {
+            assert_eq!(1u64 << size.buddy_order(), size.pages_4k());
+        }
+    }
+
+    #[test]
+    fn size_granular_page_numbers() {
+        let v = Vpn::new(3 * 512 + 17);
+        assert_eq!(v.page_number(PageSize::Size2M), 3);
+        assert_eq!(v.page_number(PageSize::Size4K), v.raw());
+        assert_eq!(Vpn::new(262_144 + 1).page_number(PageSize::Size1G), 1);
+    }
+
+    #[test]
+    fn index_bit_extraction() {
+        let v = Vpn::new(0b1010_1100);
+        assert_eq!(v.index_bits(0), v.raw());
+        assert_eq!(v.index_bits(2), 0b10_1011);
+    }
+
+    #[test]
+    fn bundle_alignment_and_chunks() {
+        let v = Vpn::new(5 * 512 + 100);
+        assert_eq!(v.align_down_pages(512), Vpn::new(5 * 512));
+        assert_eq!(v.align_down_pages(1), v);
+        assert_eq!(v.chunk_index(512), 5);
+        // Non-power-of-two chunking is plain division.
+        assert_eq!(Vpn::new(30).chunk_index(7), 4);
+    }
+
+    #[test]
+    fn bundle_position_offsets() {
+        let base = Vpn::new(4 * 512);
+        let v = Vpn::new(7 * 512 + 3);
+        assert_eq!(v.page_offset_from(base, PageSize::Size2M), Some(3));
+        assert_eq!(v.page_offset_from(base, PageSize::Size4K), Some(3 * 512 + 3));
+        assert_eq!(base.page_offset_from(v, PageSize::Size2M), None);
     }
 
     #[test]

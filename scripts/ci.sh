@@ -16,6 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> mixtlb-check --lint (workspace lint gate)"
 cargo run --release -q -p mixtlb-check -- --lint
 
+echo "==> mixtlb-check --analyze (structural analysis gate)"
+# Zero non-baselined findings required; accepted findings live in the
+# committed check-baseline.json (refresh only via --update-baseline).
+# The whole front end runs in well under a second; the timeout is a
+# safety net, not a budget.
+timeout 30 cargo run --release -q -p mixtlb-check -- --analyze .
+
 echo "==> mixtlb-check --model (time-boxed shootdown model check)"
 # Exhaustive 2-core exploration + seeded-bug self-check; the binary
 # bounds its own schedule counts, so this stays well under a minute.
