@@ -1,24 +1,35 @@
 //! Trace tooling CLI: record synthetic workload traces to the binary
-//! on-disk format, inspect them, and verify replay determinism.
+//! on-disk format, inspect them, convert between format versions, and
+//! verify replay determinism.
 //!
 //! ```text
 //! tracectl record <workload> <events> <path> [footprint_mb] [seed]
 //! tracectl info <path>
+//! tracectl convert <v1-path> <v2-path>
 //! tracectl verify <workload> <events> <path> [footprint_mb] [seed]
 //! ```
+//!
+//! `info` auto-detects the container version. For v2 files the full
+//! iteration doubles as a checksum audit (every block's FNV-1a is
+//! verified), and the report includes the compression ratio against the
+//! fixed-record v1 encoding of the same stream.
 
 #![forbid(unsafe_code)]
 
 use std::collections::HashSet;
 use std::process::exit;
 
-use mixtlb_trace::{TraceFile, TraceGenerator, WorkloadSpec};
+use mixtlb_trace::{
+    probe_version, v1_equivalent_bytes, TraceEvent, TraceFile, TraceFileV2, TraceGenerator,
+    WorkloadSpec,
+};
 use mixtlb_types::Vpn;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  tracectl record <workload> <events> <path> [footprint_mb] [seed]\n  \
          tracectl info <path>\n  \
+         tracectl convert <v1-path> <v2-path>\n  \
          tracectl verify <workload> <events> <path> [footprint_mb] [seed]\n\n\
          workloads: {}",
         WorkloadSpec::catalog()
@@ -48,6 +59,130 @@ fn generator(args: &[String]) -> (TraceGenerator, u64) {
     (TraceGenerator::new(&spec, seed, Vpn::new(1 << 18)), events)
 }
 
+/// Stream statistics shared by the v1 and v2 `info` paths.
+#[derive(Default)]
+struct StreamStats {
+    events: u64,
+    stores: u64,
+    pages: HashSet<u64>,
+    pcs: HashSet<u64>,
+    min_va: u64,
+    max_va: u64,
+}
+
+impl StreamStats {
+    fn collect(events: impl Iterator<Item = std::io::Result<TraceEvent>>) -> StreamStats {
+        let mut s = StreamStats {
+            min_va: u64::MAX,
+            ..StreamStats::default()
+        };
+        for ev in events {
+            let ev = ev.unwrap_or_else(|e| {
+                eprintln!("corrupt record: {e}");
+                exit(1);
+            });
+            s.events += 1;
+            if ev.kind.is_store() {
+                s.stores += 1;
+            }
+            s.pages.insert(ev.va.vpn().raw());
+            s.pcs.insert(ev.pc);
+            s.min_va = s.min_va.min(ev.va.raw());
+            s.max_va = s.max_va.max(ev.va.raw());
+        }
+        s
+    }
+
+    fn print(&self) {
+        if self.events == 0 {
+            return;
+        }
+        println!(
+            "stores:         {} ({:.1}%)",
+            self.stores,
+            self.stores as f64 / self.events as f64 * 100.0
+        );
+        println!("distinct pages: {}", self.pages.len());
+        println!("distinct PCs:   {}", self.pcs.len());
+        println!("va range:       {:#x}..{:#x}", self.min_va, self.max_va);
+    }
+}
+
+fn info(path: &str) {
+    let version = probe_version(path).unwrap_or_else(|e| {
+        eprintln!("open failed: {e}");
+        exit(1);
+    });
+    println!("format:         v{version}");
+    match version {
+        1 => {
+            let file = TraceFile::open(path).unwrap_or_else(|e| {
+                eprintln!("open failed: {e}");
+                exit(1);
+            });
+            let hint = file.len_hint();
+            let stats = StreamStats::collect(file);
+            println!("events:         {} (header hint {hint:?})", stats.events);
+            stats.print();
+        }
+        2 => {
+            let file = TraceFileV2::open(path).unwrap_or_else(|e| {
+                eprintln!("open failed: {e}");
+                exit(1);
+            });
+            let promised = file.event_count();
+            let stats = StreamStats::collect(file);
+            let on_disk = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let v1_bytes = v1_equivalent_bytes(stats.events);
+            println!("events:         {} (header promises {promised})", stats.events);
+            println!(
+                "size:           {on_disk} B ({:.2}x smaller than the {v1_bytes} B v1 encoding)",
+                v1_bytes as f64 / on_disk.max(1) as f64
+            );
+            println!("checksums:      OK (every block audited)");
+            stats.print();
+        }
+        other => {
+            eprintln!("unsupported trace format version {other}");
+            exit(1);
+        }
+    }
+}
+
+fn convert(src: &str, dst: &str) {
+    match probe_version(src) {
+        Ok(1) => {}
+        Ok(v) => {
+            eprintln!("convert expects a v1 source, {src} is v{v}");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("open failed: {e}");
+            exit(1);
+        }
+    }
+    let source = TraceFile::open(src).unwrap_or_else(|e| {
+        eprintln!("open failed: {e}");
+        exit(1);
+    });
+    let events = source.map(|ev| {
+        ev.unwrap_or_else(|e| {
+            eprintln!("corrupt record in {src}: {e}");
+            exit(1);
+        })
+    });
+    let written = TraceFileV2::record(dst, events).unwrap_or_else(|e| {
+        eprintln!("convert failed: {e}");
+        exit(1);
+    });
+    let src_bytes = std::fs::metadata(src).map(|m| m.len()).unwrap_or(0);
+    let dst_bytes = std::fs::metadata(dst).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {written} events: {src} ({src_bytes} B) -> {dst} ({dst_bytes} B, {:.2}x smaller)",
+        src_bytes as f64 / dst_bytes.max(1) as f64
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -61,39 +196,8 @@ fn main() {
                 });
             println!("wrote {written} events to {path}");
         }
-        Some("info") if args.len() == 2 => {
-            let file = TraceFile::open(&args[1]).unwrap_or_else(|e| {
-                eprintln!("open failed: {e}");
-                exit(1);
-            });
-            let hint = file.len_hint();
-            let mut events = 0u64;
-            let mut stores = 0u64;
-            let mut pages: HashSet<u64> = HashSet::new();
-            let mut pcs: HashSet<u64> = HashSet::new();
-            let (mut min_va, mut max_va) = (u64::MAX, 0u64);
-            for ev in file {
-                let ev = ev.unwrap_or_else(|e| {
-                    eprintln!("corrupt record: {e}");
-                    exit(1);
-                });
-                events += 1;
-                if ev.kind.is_store() {
-                    stores += 1;
-                }
-                pages.insert(ev.va.vpn().raw());
-                pcs.insert(ev.pc);
-                min_va = min_va.min(ev.va.raw());
-                max_va = max_va.max(ev.va.raw());
-            }
-            println!("events:         {events} (header hint {hint:?})");
-            if events > 0 {
-                println!("stores:         {stores} ({:.1}%)", stores as f64 / events as f64 * 100.0);
-                println!("distinct pages: {}", pages.len());
-                println!("distinct PCs:   {}", pcs.len());
-                println!("va range:       {min_va:#x}..{max_va:#x}");
-            }
-        }
+        Some("info") if args.len() == 2 => info(&args[1]),
+        Some("convert") if args.len() == 3 => convert(&args[1], &args[2]),
         Some("verify") if args.len() >= 4 => {
             let (generator, events) = generator(&args[1..]);
             let path = &args[3];

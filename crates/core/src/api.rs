@@ -28,6 +28,18 @@ impl CoalescedRun {
     }
 }
 
+/// One access of a batched lookup: the page probed, the access kind, and
+/// the requesting PC (for prediction-based designs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAccess {
+    /// The 4 KB virtual page to probe.
+    pub vpn: Vpn,
+    /// Load, store, or instruction fetch.
+    pub kind: AccessKind,
+    /// The requesting instruction's PC.
+    pub pc: u64,
+}
+
 /// The outcome of a TLB lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lookup {
@@ -217,6 +229,31 @@ pub trait TlbDevice: Send {
     /// entries resident).
     fn supports_asids(&self) -> bool {
         false
+    }
+
+    /// Batched lookup: probes the accesses of `batch` in order, appending
+    /// one [`Lookup`] per probed access to `out`, and stops after the
+    /// first miss (whose `Lookup::Miss` is appended and counted).
+    /// Returns how many accesses were consumed.
+    ///
+    /// Semantically this is exactly a loop over
+    /// [`TlbDevice::lookup_asid`] — same statistics, same replacement
+    /// updates, same dirty micro-ops — but the caller pays one dynamic
+    /// dispatch per *chunk* instead of per access: the default body is
+    /// monomorphized per design, so its inner `lookup_asid` calls are
+    /// static. Replay engines drive this from their hot loop.
+    fn lookup_batch(&mut self, asid: Asid, batch: &[BatchAccess], out: &mut Vec<Lookup>) -> usize {
+        let mut consumed = 0usize;
+        for access in batch {
+            let result = self.lookup_asid(asid, access.vpn, access.kind, access.pc);
+            let missed = !result.is_hit();
+            out.push(result);
+            consumed += 1;
+            if missed {
+                break;
+            }
+        }
+        consumed
     }
 
     /// Number of sets a shootdown of the page at `vpn`/`size` must probe

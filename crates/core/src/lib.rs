@@ -66,7 +66,7 @@ mod single;
 mod split;
 mod storage;
 
-pub use api::{CoalescedRun, Lookup, TlbDevice, TlbStats};
+pub use api::{BatchAccess, CoalescedRun, Lookup, TlbDevice, TlbStats};
 pub use mix::{
     CoalesceKind, DirtyPolicy, FillMerge, InvariantViolation, MirrorPolicy, MixTlb, MixTlbConfig,
 };

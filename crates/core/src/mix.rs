@@ -332,11 +332,27 @@ impl MixTlb {
     /// eliminated when the set is next probed).
     fn eliminate_duplicates(&mut self, set: usize) {
         type DupKey = (PageSize, Vpn, u64, Asid);
-        let mut seen: Vec<(usize, DupKey)> = Vec::new();
-        for way in 0..self.storage.ways() {
+        // Fast path: the validity bitmask proves a set with at most one
+        // entry cannot hold duplicates, without touching the entry plane.
+        if self.storage.set_occupancy(set) <= 1 {
+            return;
+        }
+        // Ways are capped at 64 by the storage plane, so the seen-list
+        // lives on the stack — the probe loop allocates nothing.
+        let mut seen: [Option<(usize, DupKey)>; 64] = [None; 64];
+        let mut seen_len = 0usize;
+        let mut mask = self.storage.valid_mask(set);
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
             let Some(e) = self.storage.get(set, way) else { continue };
             let key: DupKey = (e.size, e.bundle_base, e.anchor_pfn, e.asid);
-            if let Some(&(first_way, _)) = seen.iter().find(|&&(_, k)| k == key) {
+            let hit = seen[..seen_len]
+                .iter()
+                .flatten()
+                .find(|&&(_, k)| k == key)
+                .copied();
+            if let Some((first_way, _)) = hit {
                 // Merge when the representation allows. Disjoint length
                 // ranges are *not* duplicates — they are different
                 // coalesced fragments of the bundle — and both stay.
@@ -356,10 +372,12 @@ impl MixTlb {
                     self.storage.remove(set, way);
                     self.stats.dup_merges += 1;
                 } else {
-                    seen.push((way, key));
+                    seen[seen_len] = Some((way, key));
+                    seen_len += 1;
                 }
             } else {
-                seen.push((way, key));
+                seen[seen_len] = Some((way, key));
+                seen_len += 1;
             }
         }
     }
@@ -480,7 +498,10 @@ impl MixTlb {
         // is also when duplicate mirrors are detected and merged.
         self.eliminate_duplicates(set);
         let mut found: Option<usize> = None;
-        for way in 0..self.storage.ways() {
+        let mut mask = self.storage.valid_mask(set);
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
             let Some(e) = self.storage.get(set, way) else { continue };
             if !e.asid.matches(asid) {
                 continue;
@@ -911,6 +932,27 @@ impl TlbDevice for MixTlb {
 
     fn lookup_asid(&mut self, asid: Asid, vpn: Vpn, kind: AccessKind, _pc: u64) -> Lookup {
         self.lookup_tagged(asid, vpn, kind)
+    }
+
+    fn lookup_batch(
+        &mut self,
+        asid: Asid,
+        batch: &[crate::api::BatchAccess],
+        out: &mut Vec<Lookup>,
+    ) -> usize {
+        // Straight to the tagged probe body: one dynamic dispatch covers
+        // the whole chunk, and each probe runs the mask-driven SoA loop.
+        let mut consumed = 0usize;
+        for access in batch {
+            let result = self.lookup_tagged(asid, access.vpn, access.kind);
+            let missed = !result.is_hit();
+            out.push(result);
+            consumed += 1;
+            if missed {
+                break;
+            }
+        }
+        consumed
     }
 
     fn fill(&mut self, vpn: Vpn, requested: &Translation, line: &[Translation]) {

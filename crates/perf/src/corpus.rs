@@ -1,0 +1,165 @@
+//! The pinned benchmark corpus: which workloads, how many events, and
+//! under exactly which scenario configuration — everything needed to
+//! regenerate the committed `.mtc2` files bit-identically.
+//!
+//! The corpus covers the three fig. 9 workload classes the paper sweeps
+//! (Spec/PARSEC, big-memory server, GPU kernels). Each trace is produced
+//! by the deterministic synthetic generators of `mixtlb-trace` against a
+//! scenario prepared with [`corpus_config`], so the same seed, footprint
+//! cap, and paging policy always yield the same byte stream; the golden
+//! test in `crates/perf/tests/golden.rs` pins one committed file
+//! byte-for-byte.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mixtlb_sim::{NativeScenario, PolicyChoice, ScenarioConfig};
+use mixtlb_trace::{TraceEvent, TraceFileV2, TraceGenerator, WorkloadSpec};
+
+/// One pinned corpus trace: a catalogued workload and how many events of
+/// it the corpus freezes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusWorkload {
+    /// Catalog name (must resolve via [`WorkloadSpec::by_name`]).
+    pub name: &'static str,
+    /// Number of trace events pinned in the corpus file.
+    pub events: u64,
+}
+
+/// Events pinned per corpus trace. Small enough that six compressed
+/// traces commit at a few MB; long enough to warm every design's L1+L2.
+const CORPUS_EVENTS: u64 = 150_000;
+
+/// The six pinned workloads: two Spec/PARSEC (`mcf`, `streamcluster`),
+/// two big-memory server (`gups`, `memcached`), and two GPU kernels
+/// (`backprop`, `bfs`) — one cache-hostile and one streaming
+/// representative of each fig. 9 class.
+pub fn corpus_catalog() -> Vec<CorpusWorkload> {
+    ["mcf", "streamcluster", "gups", "memcached", "backprop", "bfs"]
+        .into_iter()
+        .map(|name| CorpusWorkload {
+            name,
+            events: CORPUS_EVENTS,
+        })
+        .collect()
+}
+
+/// The pinned scenario configuration the corpus (and every perfgate
+/// measurement) uses. Spelled out literally — not delegated to
+/// [`ScenarioConfig::quick`] — so unrelated tuning of the quick preset
+/// can never silently re-generate a different corpus.
+pub fn corpus_config() -> ScenarioConfig {
+    ScenarioConfig {
+        mem_bytes: 512 << 20,
+        memhog_fraction: 0.0,
+        policy: PolicyChoice::Ths,
+        footprint_cap: Some(256 << 20),
+        seed: 42,
+    }
+}
+
+/// A human-auditable fingerprint of [`corpus_config`], embedded in every
+/// `BENCH_*.json` so a report can never be compared against measurements
+/// taken under a different scenario.
+pub fn config_fingerprint() -> String {
+    let cfg = corpus_config();
+    format!(
+        "mem={};memhog={};policy={:?};cap={:?};seed={}",
+        cfg.mem_bytes, cfg.memhog_fraction, cfg.policy, cfg.footprint_cap, cfg.seed
+    )
+}
+
+/// The committed corpus directory (`crates/perf/corpus`).
+pub fn default_corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+/// Path of one corpus trace inside `dir`.
+pub fn corpus_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.mtc2"))
+}
+
+/// Prepares the pinned scenario for a corpus workload: OS state built,
+/// footprint pre-faulted, page table ready to walk. Returns `None` when
+/// the name is not in the workload catalog.
+pub fn prepare_scenario(name: &str) -> Option<NativeScenario> {
+    let spec = WorkloadSpec::by_name(name)?;
+    Some(NativeScenario::prepare(&spec, &corpus_config()))
+}
+
+/// Generates a corpus workload's event stream from its prepared scenario.
+/// Deterministic: same catalog entry, same bytes, every time.
+pub fn generate_events(w: &CorpusWorkload) -> Option<(NativeScenario, Vec<TraceEvent>)> {
+    let scenario = prepare_scenario(w.name)?;
+    let events: Vec<TraceEvent> =
+        TraceGenerator::new(scenario.spec(), scenario.seed(), scenario.region())
+            .take(w.events as usize)
+            .collect();
+    Some((scenario, events))
+}
+
+/// Regenerates one corpus file into `dir`, returning the event count
+/// written. Errors on unknown workloads or I/O failure.
+pub fn write_corpus_file(dir: &Path, w: &CorpusWorkload) -> io::Result<u64> {
+    let Some((_, events)) = generate_events(w) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("workload {} is not in the catalog", w.name),
+        ));
+    };
+    TraceFileV2::record(corpus_path(dir, w.name), events)
+}
+
+/// Loads a corpus trace fully into memory (checksums verified en route).
+pub fn load_events(path: &Path) -> io::Result<Vec<TraceEvent>> {
+    TraceFileV2::open(path)?.collect()
+}
+
+/// FNV-1a fingerprint of a file's bytes, as fixed-width hex — the corpus
+/// identity stamped into `BENCH_*.json`.
+pub fn file_fingerprint(path: &Path) -> io::Result<String> {
+    let bytes = std::fs::read(path)?;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Ok(format!("{hash:016x}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_resolve_and_classes_are_covered() {
+        use mixtlb_trace::WorkloadClass;
+        let mut classes = Vec::new();
+        for w in corpus_catalog() {
+            let spec = WorkloadSpec::by_name(w.name)
+                .unwrap_or_else(|| panic!("{} missing from WorkloadSpec::catalog()", w.name));
+            classes.push(spec.class);
+            assert!(w.events > 0);
+        }
+        assert!(classes.contains(&WorkloadClass::SpecParsec));
+        assert!(classes.contains(&WorkloadClass::BigMemory));
+        assert!(classes.contains(&WorkloadClass::Gpu));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = CorpusWorkload {
+            name: "gups",
+            events: 2_000,
+        };
+        let (_, a) = generate_events(&w).unwrap();
+        let (_, b) = generate_events(&w).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_fingerprint_pins_the_scenario() {
+        let f = config_fingerprint();
+        assert!(f.contains("seed=42") && f.contains("policy=Ths"), "{f}");
+    }
+}

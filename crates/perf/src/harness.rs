@@ -1,0 +1,128 @@
+//! Replay timing: warmup + repeated timed runs with median/min reporting.
+//!
+//! Each timed run replays the full pinned trace through a *fresh* engine
+//! over a fresh clone of the scenario's page table, so runs are
+//! independent and identically distributed; the harness reports the
+//! median (robust central tendency on a shared machine) and the min (the
+//! least-perturbed run) of nanoseconds per translation.
+
+use std::time::Instant;
+
+use mixtlb_pagetable::PageTable;
+use mixtlb_sim::{TlbHierarchy, TranslationEngine, WalkBackend};
+use mixtlb_trace::TraceEvent;
+use mixtlb_types::PhysAddr;
+
+/// Aggregated timing of repeated runs, in nanoseconds per translation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Median across the timed runs.
+    pub median_ns: f64,
+    /// Fastest run.
+    pub min_ns: f64,
+}
+
+impl Timing {
+    /// Aggregates per-run ns/translation samples. Returns `None` for an
+    /// empty sample set.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<Timing> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let min_ns = samples[0];
+        let mid = samples.len() / 2;
+        let median_ns = if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        };
+        Some(Timing { median_ns, min_ns })
+    }
+
+    /// Million translations per second at the median.
+    pub fn median_maccesses_per_sec(&self) -> f64 {
+        if self.median_ns <= 0.0 {
+            0.0
+        } else {
+            1e3 / self.median_ns
+        }
+    }
+}
+
+/// One timed scalar replay: per-event [`TranslationEngine::access`] calls.
+/// Returns ns per translation.
+pub fn replay_scalar(hierarchy: TlbHierarchy, pt: &mut PageTable, events: &[TraceEvent]) -> f64 {
+    let mut engine = TranslationEngine::new(hierarchy, WalkBackend::Native(pt));
+    let start = Instant::now();
+    for ev in events {
+        engine.access(ev);
+    }
+    per_access_ns(start.elapsed().as_nanos(), events.len())
+}
+
+/// One timed batched replay through
+/// [`TranslationEngine::translate_batch`]. Returns ns per translation.
+pub fn replay_batched(hierarchy: TlbHierarchy, pt: &mut PageTable, events: &[TraceEvent]) -> f64 {
+    let mut engine = TranslationEngine::new(hierarchy, WalkBackend::Native(pt));
+    let mut out: Vec<Option<PhysAddr>> = Vec::with_capacity(events.len());
+    let start = Instant::now();
+    engine.translate_batch(events, &mut out);
+    per_access_ns(start.elapsed().as_nanos(), out.len())
+}
+
+fn per_access_ns(elapsed_ns: u128, accesses: usize) -> f64 {
+    if accesses == 0 {
+        0.0
+    } else {
+        elapsed_ns as f64 / accesses as f64
+    }
+}
+
+/// Runs `warmup` untimed then `reps` timed invocations of `run` (each
+/// returning ns per translation) and aggregates them. Returns `None`
+/// when `reps` is zero.
+pub fn time_reps(warmup: usize, reps: usize, mut run: impl FnMut() -> f64) -> Option<Timing> {
+    for _ in 0..warmup {
+        let _ = run();
+    }
+    Timing::from_samples((0..reps).map(|_| run()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_aggregates_median_and_min() {
+        let t = Timing::from_samples(vec![30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(t.min_ns, 10.0);
+        assert_eq!(t.median_ns, 20.0);
+        let t = Timing::from_samples(vec![40.0, 10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(t.median_ns, 25.0);
+        assert!(Timing::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn throughput_inverts_latency() {
+        let t = Timing {
+            median_ns: 10.0,
+            min_ns: 8.0,
+        };
+        assert!((t.median_maccesses_per_sec() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_reps_warms_then_measures() {
+        let mut calls = 0;
+        let t = time_reps(2, 3, || {
+            calls += 1;
+            calls as f64
+        })
+        .unwrap();
+        assert_eq!(calls, 5);
+        // Timed samples are 3.0, 4.0, 5.0.
+        assert_eq!(t.min_ns, 3.0);
+        assert_eq!(t.median_ns, 4.0);
+    }
+}

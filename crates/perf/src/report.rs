@@ -1,0 +1,472 @@
+//! `BENCH_*.json` reports and the normalized regression gate.
+//!
+//! A report records, for every (design, workload, path) triple, the
+//! median/min nanoseconds per translation and the derived throughput,
+//! plus fingerprints of the corpus files and the pinned scenario
+//! configuration. The JSON is written one record per line so the
+//! dependency-free reader below can parse any committed `BENCH_*.json`
+//! without a JSON library.
+//!
+//! # Gating
+//!
+//! Raw throughput is machine-dependent, so the gate never compares
+//! absolute numbers across reports. Instead each record is normalized to
+//! the same report's scalar `split` throughput on the same workload —
+//! a dimensionless "how fast is this design/path relative to the
+//! baseline design on this machine" — and the gate fails when a triple's
+//! normalized throughput drops by more than the tolerance (default 10%)
+//! against the previous report.
+
+use std::fmt::Write as _;
+
+use crate::harness::Timing;
+
+/// Which replay path a record measured.
+pub const PATH_SCALAR: &str = "scalar";
+/// The batched counterpart of [`PATH_SCALAR`].
+pub const PATH_BATCHED: &str = "batched";
+
+/// The design whose scalar path anchors normalization.
+pub const BASELINE_DESIGN: &str = "split";
+
+/// One measurement: a design × workload × path triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Design name (as in `mixtlb_sim::designs::all_cpu_designs`).
+    pub design: String,
+    /// Corpus workload name.
+    pub workload: String,
+    /// `"scalar"` or `"batched"`.
+    pub path: String,
+    /// Events replayed per run.
+    pub accesses: u64,
+    /// Median ns per translation across timed runs.
+    pub median_ns: f64,
+    /// Fastest run's ns per translation.
+    pub min_ns: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a harness [`Timing`].
+    pub fn new(design: &str, workload: &str, path: &str, accesses: u64, t: Timing) -> BenchRecord {
+        BenchRecord {
+            design: design.to_owned(),
+            workload: workload.to_owned(),
+            path: path.to_owned(),
+            accesses,
+            median_ns: t.median_ns,
+            min_ns: t.min_ns,
+        }
+    }
+
+    /// Million translations per second at the median.
+    pub fn maccesses_per_sec(&self) -> f64 {
+        if self.median_ns <= 0.0 {
+            0.0
+        } else {
+            1e3 / self.median_ns
+        }
+    }
+}
+
+/// Fingerprint of one corpus file, embedded in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusFileInfo {
+    /// Workload name.
+    pub workload: String,
+    /// FNV-1a fingerprint of the committed `.mtc2` bytes.
+    pub fingerprint: String,
+    /// Event count.
+    pub events: u64,
+}
+
+/// A full perfgate report — the in-memory form of one `BENCH_<pr>.json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// PR number the report belongs to (the `<pr>` of `BENCH_<pr>.json`).
+    pub pr: u32,
+    /// Fingerprint of the pinned scenario configuration.
+    pub config: String,
+    /// Per-file corpus fingerprints.
+    pub corpus: Vec<CorpusFileInfo>,
+    /// All measurements.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Extracts the string value of `"key": "…"` from a JSON line
+/// (whitespace after the colon is tolerated).
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+/// Extracts the numeric value of `"key":…` from a JSON line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}', ']'])
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-enough JSON: stable field order,
+    /// one corpus entry and one record per line (the contract the
+    /// dependency-free parser relies on).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"mixtlb-perfgate-v1\",");
+        let _ = writeln!(s, "  \"pr\": {},", self.pr);
+        let _ = writeln!(s, "  \"config\": \"{}\",", esc(&self.config));
+        s.push_str("  \"corpus\": [\n");
+        for (i, c) in self.corpus.iter().enumerate() {
+            let comma = if i + 1 == self.corpus.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"corpus_workload\":\"{}\",\"fingerprint\":\"{}\",\"events\":{}}}{comma}",
+                esc(&c.workload),
+                esc(&c.fingerprint),
+                c.events
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"design\":\"{}\",\"workload\":\"{}\",\"path\":\"{}\",\
+                 \"accesses\":{},\"median_ns_per_translation\":{:.3},\
+                 \"min_ns_per_translation\":{:.3},\"maccesses_per_sec\":{:.3}}}{comma}",
+                esc(&r.design),
+                esc(&r.workload),
+                esc(&r.path),
+                r.accesses,
+                r.median_ns,
+                r.min_ns,
+                r.maccesses_per_sec()
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    /// Returns `None` if no result records can be recovered.
+    pub fn parse_json(text: &str) -> Option<BenchReport> {
+        let mut report = BenchReport::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(pr) = json_num(line, "pr") {
+                if line.starts_with("\"pr\"") {
+                    report.pr = pr as u32;
+                }
+            }
+            if line.starts_with("\"config\"") {
+                if let Some(cfg) = json_str(line, "config") {
+                    report.config = cfg;
+                }
+            }
+            if let Some(workload) = json_str(line, "corpus_workload") {
+                report.corpus.push(CorpusFileInfo {
+                    workload,
+                    fingerprint: json_str(line, "fingerprint").unwrap_or_default(),
+                    events: json_num(line, "events").unwrap_or(0.0) as u64,
+                });
+            }
+            if let (Some(design), Some(workload), Some(path)) = (
+                json_str(line, "design"),
+                json_str(line, "workload"),
+                json_str(line, "path"),
+            ) {
+                report.records.push(BenchRecord {
+                    design,
+                    workload,
+                    path,
+                    accesses: json_num(line, "accesses").unwrap_or(0.0) as u64,
+                    median_ns: json_num(line, "median_ns_per_translation").unwrap_or(0.0),
+                    min_ns: json_num(line, "min_ns_per_translation").unwrap_or(0.0),
+                });
+            }
+        }
+        if report.records.is_empty() {
+            None
+        } else {
+            Some(report)
+        }
+    }
+
+    /// Throughput of a triple, or `None` when absent.
+    pub fn throughput(&self, design: &str, workload: &str, path: &str) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.design == design && r.workload == workload && r.path == path)
+            .map(BenchRecord::maccesses_per_sec)
+    }
+
+    /// A record's throughput normalized to this report's scalar
+    /// [`BASELINE_DESIGN`] on the same workload — the machine-independent
+    /// quantity the gate compares.
+    pub fn normalized(&self, r: &BenchRecord) -> Option<f64> {
+        let base = self.throughput(BASELINE_DESIGN, &r.workload, PATH_SCALAR)?;
+        if base <= 0.0 {
+            return None;
+        }
+        Some(r.maccesses_per_sec() / base)
+    }
+}
+
+/// The outcome of gating a current report against a previous one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Triples compared (present and normalizable in both reports).
+    pub compared: usize,
+    /// Human-readable descriptions of every regression beyond tolerance.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// `true` when at least one triple was compared and none regressed.
+    pub fn passed(&self) -> bool {
+        self.compared > 0 && self.failures.is_empty()
+    }
+}
+
+/// Compares `curr` against `prev`: for every triple present in both
+/// reports, the *normalized* throughput (see [`BenchReport::normalized`])
+/// may not drop by more than `tolerance` (e.g. `0.10` = 10%). Baseline
+/// triples (scalar `split`) are skipped — they are identically 1.0.
+pub fn gate(prev: &BenchReport, curr: &BenchReport, tolerance: f64) -> GateOutcome {
+    let mut out = GateOutcome {
+        compared: 0,
+        failures: Vec::new(),
+    };
+    for r in &curr.records {
+        if r.design == BASELINE_DESIGN && r.path == PATH_SCALAR {
+            continue;
+        }
+        let Some(now) = curr.normalized(r) else { continue };
+        let Some(prev_rec) = prev
+            .records
+            .iter()
+            .find(|p| p.design == r.design && p.workload == r.workload && p.path == r.path)
+        else {
+            continue;
+        };
+        let Some(before) = prev.normalized(prev_rec) else {
+            continue;
+        };
+        if before <= 0.0 {
+            continue;
+        }
+        out.compared += 1;
+        let drop = 1.0 - now / before;
+        if drop > tolerance {
+            out.failures.push(format!(
+                "{}/{}/{}: normalized throughput fell {:.1}% ({:.3} -> {:.3}, tolerance {:.0}%)",
+                r.design,
+                r.workload,
+                r.path,
+                drop * 100.0,
+                before,
+                now,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Compares `curr` against `prev` on the *geometric mean* of normalized
+/// throughput per path (`scalar`, `batched`), over the triples present in
+/// both reports. This is the CI-grade variant of [`gate`]: per-triple
+/// normalized throughput on a shared runner swings with per-process
+/// allocation layout (measured up to ~3.5x for nanosecond-scale batched
+/// loops), but a real regression — a broken probe loop, a lost batching
+/// optimization — moves a whole path's mean, while independent layout
+/// luck averages out across designs and workloads. Per-path geomean
+/// dropping more than `tolerance` fails.
+pub fn gate_aggregate(prev: &BenchReport, curr: &BenchReport, tolerance: f64) -> GateOutcome {
+    let mut out = GateOutcome {
+        compared: 0,
+        failures: Vec::new(),
+    };
+    for path in [PATH_SCALAR, PATH_BATCHED] {
+        let mut log_sum = 0.0f64;
+        let mut n = 0usize;
+        for r in &curr.records {
+            if r.path != path || (r.design == BASELINE_DESIGN && r.path == PATH_SCALAR) {
+                continue;
+            }
+            let Some(now) = curr.normalized(r) else { continue };
+            let Some(prev_rec) = prev
+                .records
+                .iter()
+                .find(|p| p.design == r.design && p.workload == r.workload && p.path == r.path)
+            else {
+                continue;
+            };
+            let Some(before) = prev.normalized(prev_rec) else {
+                continue;
+            };
+            if before <= 0.0 || now <= 0.0 {
+                continue;
+            }
+            log_sum += (now / before).ln();
+            n += 1;
+        }
+        if n == 0 {
+            continue;
+        }
+        out.compared += n;
+        let ratio = (log_sum / n as f64).exp();
+        let drop = 1.0 - ratio;
+        if drop > tolerance {
+            out.failures.push(format!(
+                "{path}: geomean normalized throughput over {n} triples fell {:.1}% \
+                 (ratio {ratio:.3}, tolerance {:.0}%)",
+                drop * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(design: &str, workload: &str, path: &str, median_ns: f64) -> BenchRecord {
+        BenchRecord {
+            design: design.to_owned(),
+            workload: workload.to_owned(),
+            path: path.to_owned(),
+            accesses: 1000,
+            median_ns,
+            min_ns: median_ns * 0.9,
+        }
+    }
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            pr: 6,
+            config: "seed=42".to_owned(),
+            corpus: vec![CorpusFileInfo {
+                workload: "gups".to_owned(),
+                fingerprint: "abc123".to_owned(),
+                events: 1000,
+            }],
+            records: vec![
+                record("split", "gups", PATH_SCALAR, 100.0),
+                record("mix", "gups", PATH_SCALAR, 120.0),
+                record("mix", "gups", PATH_BATCHED, 10.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let report = sample_report();
+        let parsed = BenchReport::parse_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn normalization_is_relative_to_scalar_split() {
+        let report = sample_report();
+        let mix_batched = &report.records[2];
+        // split scalar: 10 M/s; mix batched: 100 M/s => 10x normalized.
+        let n = report.normalized(mix_batched).unwrap();
+        assert!((n - 10.0).abs() < 1e-9, "{n}");
+    }
+
+    #[test]
+    fn gate_passes_against_itself() {
+        let report = sample_report();
+        let outcome = gate(&report, &report, 0.10);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert_eq!(outcome.compared, 2);
+    }
+
+    #[test]
+    fn gate_trips_on_a_single_design_regression() {
+        let prev = sample_report();
+        let mut curr = prev.clone();
+        // Degrade one design's batched path by 20%: 10 ns -> 12.5 ns.
+        curr.records[2].median_ns = 12.5;
+        let outcome = gate(&prev, &curr, 0.10);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("mix/gups/batched"));
+    }
+
+    #[test]
+    fn gate_tolerates_uniform_machine_speed_changes() {
+        let prev = sample_report();
+        let mut curr = prev.clone();
+        // A machine twice as slow scales every latency uniformly.
+        for r in &mut curr.records {
+            r.median_ns *= 2.0;
+            r.min_ns *= 2.0;
+        }
+        let outcome = gate(&prev, &curr, 0.10);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+    }
+
+    /// A wider report for aggregate-gate tests: two workloads, two
+    /// non-baseline designs, both paths.
+    fn wide_report() -> BenchReport {
+        let mut report = sample_report();
+        report.records = Vec::new();
+        for wl in ["gups", "streamcluster"] {
+            report.records.push(record("split", wl, PATH_SCALAR, 100.0));
+            report.records.push(record("split", wl, PATH_BATCHED, 10.0));
+            report.records.push(record("mix", wl, PATH_SCALAR, 120.0));
+            report.records.push(record("mix", wl, PATH_BATCHED, 12.0));
+        }
+        report
+    }
+
+    #[test]
+    fn aggregate_gate_averages_out_independent_layout_luck() {
+        let prev = wide_report();
+        let mut curr = prev.clone();
+        // One triple 2x slower, another 2x faster — per-triple gating at
+        // any tolerance under 50% would trip; the per-path geomean is
+        // unchanged and must pass.
+        curr.records[1].median_ns *= 2.0; // split/gups/batched
+        curr.records[7].median_ns /= 2.0; // mix/streamcluster/batched
+        assert!(!gate(&prev, &curr, 0.40).passed());
+        let agg = gate_aggregate(&prev, &curr, 0.10);
+        assert!(agg.passed(), "{:?}", agg.failures);
+    }
+
+    #[test]
+    fn aggregate_gate_trips_on_a_whole_path_regression() {
+        let prev = wide_report();
+        let mut curr = prev.clone();
+        // Every batched triple 2x slower: the batching optimization broke.
+        for r in &mut curr.records {
+            if r.path == PATH_BATCHED {
+                r.median_ns *= 2.0;
+            }
+        }
+        let agg = gate_aggregate(&prev, &curr, 0.40);
+        assert!(!agg.passed());
+        assert_eq!(agg.failures.len(), 1);
+        assert!(agg.failures[0].starts_with("batched:"), "{:?}", agg.failures);
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden test: the committed corpus is bit-identical to what
+//! `perfgate gen-corpus` would regenerate today.
+//!
+//! This is the property the whole perfgate trajectory rests on — every
+//! committed `BENCH_*.json` was measured against these exact bytes, so a
+//! drift in the generator, the v2 encoder, or the pinned corpus config
+//! silently invalidates the historical numbers. The test regenerates one
+//! workload (`gups`, the least compressible stream, so it exercises the
+//! widest deltas) into a scratch directory and compares it byte for byte
+//! against the file in `crates/perf/corpus/`.
+
+use mixtlb_perf::{corpus_catalog, corpus_path, default_corpus_dir, file_fingerprint, write_corpus_file};
+
+/// The workload regenerated for the byte-level comparison.
+const GOLDEN_WORKLOAD: &str = "gups";
+
+#[test]
+fn committed_corpus_file_is_byte_for_byte_reproducible() {
+    let workload = corpus_catalog()
+        .into_iter()
+        .find(|w| w.name == GOLDEN_WORKLOAD)
+        .expect("golden workload in corpus catalog");
+
+    let mut scratch = std::env::temp_dir();
+    scratch.push(format!("mixtlb-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    let written = write_corpus_file(&scratch, &workload).expect("regenerate golden workload");
+    assert_eq!(written, workload.events, "regenerated event count");
+
+    let regenerated = corpus_path(&scratch, GOLDEN_WORKLOAD);
+    let committed = corpus_path(&default_corpus_dir(), GOLDEN_WORKLOAD);
+
+    let fresh = std::fs::read(&regenerated).unwrap();
+    let pinned = std::fs::read(&committed).unwrap_or_else(|e| {
+        panic!(
+            "committed corpus file {} unreadable ({e}); run `perfgate gen-corpus`",
+            committed.display()
+        )
+    });
+
+    assert_eq!(
+        file_fingerprint(&regenerated).unwrap(),
+        file_fingerprint(&committed).unwrap(),
+        "regenerated {GOLDEN_WORKLOAD} corpus fingerprint diverges from the committed file — \
+         generator or v2 encoder output changed; historical BENCH_*.json numbers no longer \
+         describe this corpus"
+    );
+    assert_eq!(
+        fresh, pinned,
+        "regenerated {GOLDEN_WORKLOAD} corpus bytes diverge from the committed file"
+    );
+
+    let _ = std::fs::remove_file(&regenerated);
+    let _ = std::fs::remove_dir(&scratch);
+}
+
+/// Every committed corpus file decodes cleanly and carries exactly the
+/// event count the catalog pins, so the harness never silently replays a
+/// short or damaged trace.
+#[test]
+fn committed_corpus_decodes_to_catalog_event_counts() {
+    let dir = default_corpus_dir();
+    for w in corpus_catalog() {
+        let path = corpus_path(&dir, w.name);
+        let events = mixtlb_perf::load_events(&path)
+            .unwrap_or_else(|e| panic!("corpus file {} unreadable: {e}", path.display()));
+        assert_eq!(
+            events.len() as u64,
+            w.events,
+            "{}: committed corpus event count diverges from catalog",
+            w.name
+        );
+    }
+}

@@ -2,11 +2,37 @@
 //! page-table walks through the cache hierarchy.
 
 use mixtlb_cache::{CacheHierarchy, HierarchyConfig, HierarchyStats, PageWalkCache};
-use mixtlb_core::{Lookup, MixTlb, MixTlbConfig, TlbDevice, TlbStats};
+use mixtlb_core::{BatchAccess, Lookup, MixTlb, MixTlbConfig, TlbDevice, TlbStats};
 use mixtlb_energy::WalkTraffic;
 use mixtlb_pagetable::{NestedTranslationCache, NestedWalker, PageTable, Walker};
 use mixtlb_trace::TraceEvent;
-use mixtlb_types::{Asid, PhysAddr, Translation, VirtAddr, Vpn};
+use mixtlb_types::{Asid, PageSize, Pfn, PhysAddr, Translation, VirtAddr, Vpn};
+
+/// The batched-replay reuse window: one resolved 4 KB page whose frame is
+/// precomputed, so consecutive accesses to the same page splice their
+/// offset onto the frame instead of re-probing. `serves_stores` is set
+/// only when the seeding probe *hit* an already-dirty entry — then a
+/// consecutive store's probe provably cannot raise a dirty micro-op, so
+/// skipping it is invisible. Miss-resolved seeds never serve stores: a
+/// coalescing fill may merge into a clean run entry, and the first store
+/// must probe so the entry's own dirty bit transitions.
+#[derive(Clone, Copy)]
+struct ReuseWindow {
+    vpn: Vpn,
+    frame: Pfn,
+    serves_stores: bool,
+}
+
+/// Seeds the reuse window from a just-resolved access, precomputing the
+/// backing frame of its 4 KB page.
+#[inline]
+fn seed_window(vpn: Vpn, translation: &Translation, from_dirty_hit: bool) -> Option<ReuseWindow> {
+    translation.frame_for(vpn).map(|frame| ReuseWindow {
+        vpn,
+        frame,
+        serves_stores: from_dirty_hit,
+    })
+}
 
 /// A two-level TLB hierarchy under test.
 pub struct TlbHierarchy {
@@ -264,6 +290,17 @@ impl<'a> TranslationEngine<'a> {
             }
             Lookup::Miss => {}
         }
+        self.resolve_miss(ev)
+            .and_then(|translation| translation.translate(ev.va).ok())
+    }
+
+    /// Everything below an L1 miss: the L2 probe, the page-table walk, and
+    /// the refills, with their stall/traffic accounting. Shared verbatim by
+    /// [`TranslationEngine::access`] and
+    /// [`TranslationEngine::translate_batch`] so the two paths cannot
+    /// drift. Returns the resolving translation, or `None` on a fault.
+    fn resolve_miss(&mut self, ev: &TraceEvent) -> Option<Translation> {
+        let vpn = ev.va.vpn();
         // L2.
         if self.hierarchy.l2.is_some() {
             self.stats.stall_cycles += self.l2_hit_cycles;
@@ -297,7 +334,7 @@ impl<'a> TranslationEngine<'a> {
                                 .fill_asid(self.asid, vpn, &translation, &[translation]);
                         }
                     }
-                    return translation.translate(ev.va).ok();
+                    return Some(translation);
                 }
                 Lookup::Miss => {}
             }
@@ -339,12 +376,12 @@ impl<'a> TranslationEngine<'a> {
                 if run.len as usize > walk.line.len() {
                     let line = run.translations();
                     self.hierarchy.l1.fill_asid(self.asid, vpn, &translation, &line);
-                    return translation.translate(ev.va).ok();
+                    return Some(translation);
                 }
             }
         }
         self.hierarchy.l1.fill_asid(self.asid, vpn, &translation, &walk.line);
-        translation.translate(ev.va).ok()
+        Some(translation)
     }
 
     /// Replays a batch of events.
@@ -352,6 +389,146 @@ impl<'a> TranslationEngine<'a> {
         for ev in events {
             self.access(&ev);
         }
+    }
+
+    /// Translates a slice of trace events, appending one physical address
+    /// (or `None` for a fault) per event to `out` — the batched
+    /// counterpart of calling [`TranslationEngine::access`] in a loop,
+    /// with two hot-loop savings:
+    ///
+    /// * L1 probes go through [`TlbDevice::lookup_batch`], so the replay
+    ///   loop pays one dynamic dispatch per chunk instead of per access
+    ///   (serial-probe stalls are accounted per chunk; the per-access sum
+    ///   is identical).
+    /// * A run of *immediately consecutive* accesses to the same 4 KB page
+    ///   reuses the previous access's resolution instead of re-probing —
+    ///   sound because nothing can intervene between consecutive accesses
+    ///   of one batch: the scalar path's repeat probe is a guaranteed hit
+    ///   on the same entry, its LRU re-touch preserves relative recency
+    ///   order, and its duplicate sweep is a no-op. Stores take the window
+    ///   only when it was seeded by a probe hit on an already-dirty entry
+    ///   (so no dirty micro-op can fire); faults never seed it.
+    ///
+    /// Per-access results and [`EngineStats`] match the scalar path
+    /// exactly for every non-predictive design (window hits count as L1
+    /// hits); prediction-based designs skip predictor training on window
+    /// hits, which can only alter their serial-probe stall accounting,
+    /// never presence or translations.
+    pub fn translate_batch(&mut self, events: &[TraceEvent], out: &mut Vec<Option<PhysAddr>>) {
+        /// Probe-chunk cap: keeps the staging buffer cache-resident.
+        const CHUNK: usize = 256;
+        // Pre-size the output and write by index: every event owns exactly
+        // one slot (slot i = events[i]), faults simply stay `None`, and the
+        // hot loops avoid `push`'s per-element capacity check — on the
+        // replay fast path that check costs more than the translation.
+        let base = out.len();
+        out.resize(base + events.len(), None);
+        let out = &mut out[base..];
+        let mut batch: Vec<BatchAccess> = Vec::with_capacity(CHUNK);
+        let mut lookups: Vec<Lookup> = Vec::with_capacity(CHUNK);
+        let mut window: Option<ReuseWindow> = None;
+        // Serial-probe stall accounting is a sum over probes, so one
+        // before/after read of the (by-value, possibly merged) device
+        // stats covers the whole batch — scalar reads them per access,
+        // which is a large share of its per-access cost.
+        let l1_serial_before = self.hierarchy.l1.stats().serial_probes;
+        let mut i = 0usize;
+        while i < events.len() {
+            // Fast path: drain the whole run of accesses the reuse window
+            // serves in one tight loop — the frame of the window's 4 KB
+            // page is precomputed at seed time, so each served access is a
+            // page-number compare plus an offset splice, with one stats
+            // update for the run.
+            if let Some(w) = window {
+                let run_start = i;
+                while let Some(ev) = events.get(i) {
+                    if ev.va.vpn() != w.vpn || (!w.serves_stores && ev.kind.is_store()) {
+                        break;
+                    }
+                    out[i] = Some(PhysAddr::from_page(
+                        w.frame,
+                        ev.va.page_offset(PageSize::Size4K),
+                    ));
+                    i += 1;
+                }
+                let served = (i - run_start) as u64;
+                self.stats.accesses += served;
+                self.stats.l1_hits += served;
+                if i >= events.len() {
+                    break;
+                }
+            }
+            // Stage a chunk of probes, stopping before any access the
+            // reuse window should serve (same page as its predecessor,
+            // not a store) so the fast path above gets it.
+            batch.clear();
+            let mut j = i;
+            while j < events.len() && batch.len() < CHUNK {
+                let e = &events[j];
+                if j > i && e.va.vpn() == events[j - 1].va.vpn() && !e.kind.is_store() {
+                    break;
+                }
+                batch.push(BatchAccess {
+                    vpn: e.va.vpn(),
+                    kind: e.kind,
+                    pc: e.pc,
+                });
+                j += 1;
+            }
+            // Probe the staged chunk. The device consumes accesses up to
+            // and including its first miss; after resolving that miss,
+            // continue from the next staged access — the staged copies
+            // are immutable, so nothing needs re-staging.
+            let mut pos = 0usize;
+            while pos < batch.len() {
+                lookups.clear();
+                let consumed =
+                    self.hierarchy
+                        .l1
+                        .lookup_batch(self.asid, &batch[pos..], &mut lookups);
+                if consumed == 0 {
+                    // A conforming device always consumes at least one
+                    // access; fall back to the scalar path so a degenerate
+                    // implementation still makes forward progress. The
+                    // scalar path charges its own serial-probe stalls, so
+                    // back out what the batch-wide sum below will re-add.
+                    let before = self.hierarchy.l1.stats().serial_probes;
+                    out[i + pos] = self.access(&events[i + pos]);
+                    let double = self.hierarchy.l1.stats().serial_probes - before;
+                    self.stats.stall_cycles -= 2 * double;
+                    pos += 1;
+                    continue;
+                }
+                for (k, result) in lookups.iter().enumerate() {
+                    let ev = &events[i + pos + k];
+                    self.stats.accesses += 1;
+                    match *result {
+                        Lookup::Hit {
+                            translation,
+                            dirty_microop,
+                            ..
+                        } => {
+                            if dirty_microop {
+                                self.handle_dirty_microop(ev.va.vpn());
+                            }
+                            self.stats.l1_hits += 1;
+                            out[i + pos + k] = translation.translate(ev.va).ok();
+                            window = seed_window(ev.va.vpn(), &translation, translation.dirty);
+                        }
+                        Lookup::Miss => {
+                            if let Some(translation) = self.resolve_miss(ev) {
+                                out[i + pos + k] = translation.translate(ev.va).ok();
+                                window = seed_window(ev.va.vpn(), &translation, false);
+                            }
+                        }
+                    }
+                }
+                pos += consumed;
+            }
+            i += batch.len();
+        }
+        let l1_serial = self.hierarchy.l1.stats().serial_probes - l1_serial_before;
+        self.stats.stall_cycles += 2 * l1_serial;
     }
 
     fn walk(&mut self, va: VirtAddr, kind: mixtlb_types::AccessKind) -> UnifiedWalk {

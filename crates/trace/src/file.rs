@@ -103,6 +103,13 @@ impl TraceFile {
         let mut word = [0u8; 4];
         reader.read_exact(&mut word)?;
         let version = u32::from_le_bytes(word);
+        if version == crate::file_v2::VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "v2 compact trace — open it with TraceFileV2 (or downgrade \
+                 via `tracectl convert`)",
+            ));
+        }
         if version != VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -237,6 +244,16 @@ mod tests {
         let mut file = TraceFile::open(&path).unwrap();
         // A partial record reads as EOF (clean end).
         assert!(file.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_files_get_a_version_hint_not_garbage() {
+        let path = temp("v2hint.trc");
+        crate::file_v2::TraceFileV2::record(&path, std::iter::empty()).unwrap();
+        let err = TraceFile::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("TraceFileV2"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

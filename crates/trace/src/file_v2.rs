@@ -1,0 +1,569 @@
+//! Compact v2 trace format: delta coding, varints, checksummed blocks.
+//!
+//! The v1 format spends a fixed 17 bytes per event, which makes a pinned
+//! multi-workload benchmark corpus too large to commit. Version 2 keeps
+//! the same magic and event model but encodes each event relative to its
+//! predecessor, so the sequential and strided streams that dominate the
+//! fig. 9 workloads compress to a few bytes per access:
+//!
+//! ```text
+//! header  : magic "MXTLBTRC" | u32 version = 2 | u32 reserved | u64 events
+//! block   : varint event_count | varint payload_len | payload | u64 fnv1a
+//! event   : zigzag-varint Δ(4 KB page) | varint (offset << 2 | kind)
+//!           | zigzag-varint Δ(pc)
+//! ```
+//!
+//! Deltas reset at each block boundary (previous page and PC start at
+//! zero), so any block can be decoded — and its FNV-1a checksum audited —
+//! without touching earlier blocks. A truncated or corrupted block is a
+//! clean [`io::ErrorKind::InvalidData`] error from the streaming reader,
+//! never a panic, and the header's event count lets a reader distinguish
+//! honest end-of-file from a chopped tail.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mixtlb_trace::{TraceFileV2, TraceGenerator, WorkloadSpec};
+//! use mixtlb_types::Vpn;
+//!
+//! let spec = WorkloadSpec::by_name("gups").unwrap().with_footprint(1 << 24);
+//! let gen = TraceGenerator::new(&spec, 42, Vpn::new(0x1000));
+//! TraceFileV2::record("gups.mtc2", gen.take(100_000))?;
+//! for event in TraceFileV2::open("gups.mtc2")? {
+//!     let _event = event?;
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use mixtlb_types::{AccessKind, PageSize, VirtAddr, Vpn};
+
+use crate::generator::TraceEvent;
+
+const MAGIC: &[u8; 8] = b"MXTLBTRC";
+/// Format version stamped in (and required from) every v2 header.
+pub(crate) const VERSION: u32 = 2;
+/// Events per block. Deliberately *not* a page-sized count: 2048 events
+/// keep a block's payload in the ten-kilobyte range, small enough that a
+/// checksum failure localizes the damage and a streaming reader never
+/// buffers more than one block of decoded events.
+const BLOCK_EVENTS: usize = 2048;
+/// Byte offset of the u64 event count patched after the stream is written.
+const COUNT_OFFSET: u64 = 16;
+/// Per-event cost of the v1 fixed-record encoding, for compression ratios.
+pub const V1_RECORD_BYTES: u64 = 17;
+/// Header cost of the v1 encoding, for compression ratios.
+pub const V1_HEADER_BYTES: u64 = 16;
+
+/// FNV-1a over a byte slice — the per-block payload checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes of either sign stay
+/// in one varint byte.
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn un_zigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Wrapping difference `now - before`, reinterpreted as a signed delta.
+fn delta(now: u64, before: u64) -> i64 {
+    now.wrapping_sub(before) as i64
+}
+
+/// Appends an LEB128 varint to `out`.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from `buf` starting at `*pos`, advancing it.
+fn read_varint_slice(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(invalid("varint runs past the end of its block"));
+        };
+        *pos += 1;
+        if shift >= 64 {
+            return Err(invalid("varint longer than 64 bits"));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads one LEB128 varint from a byte stream. Returns `Ok(None)` when the
+/// stream is already at EOF (a clean end between blocks), and an error if
+/// EOF interrupts a varint midway.
+fn read_varint_stream(r: &mut impl Read) -> io::Result<Option<u64>> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                if shift == 0 {
+                    return Ok(None);
+                }
+                return Err(invalid("varint truncated by end of file"));
+            }
+            Err(e) => return Err(e),
+        }
+        if shift >= 64 {
+            return Err(invalid("varint longer than 64 bits"));
+        }
+        v |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(v));
+        }
+        shift += 7;
+    }
+}
+
+/// Shorthand for the [`io::ErrorKind::InvalidData`] errors this module
+/// reports on malformed input.
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Two-bit wire code for an access kind.
+fn kind_code(kind: AccessKind) -> u64 {
+    match kind {
+        AccessKind::Load => 0,
+        AccessKind::Store => 1,
+        AccessKind::Fetch => 2,
+    }
+}
+
+/// Inverse of [`kind_code`].
+fn code_kind(code: u64) -> io::Result<AccessKind> {
+    match code {
+        0 => Ok(AccessKind::Load),
+        1 => Ok(AccessKind::Store),
+        2 => Ok(AccessKind::Fetch),
+        other => Err(invalid(format!("invalid access kind code {other}"))),
+    }
+}
+
+/// Encodes one event into `payload`, returning the (page, pc) pair the
+/// next event's deltas are taken against.
+fn encode_event(payload: &mut Vec<u8>, ev: &TraceEvent, prev_page: u64, prev_pc: u64) -> (u64, u64) {
+    let page = ev.va.vpn().raw();
+    let off = ev.va.page_offset(PageSize::Size4K);
+    write_varint(payload, zigzag(delta(page, prev_page)));
+    write_varint(payload, (off << 2) | kind_code(ev.kind));
+    write_varint(payload, zigzag(delta(ev.pc, prev_pc)));
+    (page, ev.pc)
+}
+
+/// Decodes one event from `buf` at `*pos` against the running deltas.
+fn decode_event(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_page: &mut u64,
+    prev_pc: &mut u64,
+) -> io::Result<TraceEvent> {
+    let dp = un_zigzag(read_varint_slice(buf, pos)?);
+    let page = prev_page.wrapping_add(dp as u64);
+    let meta = read_varint_slice(buf, pos)?;
+    let off = meta >> 2;
+    let kind = code_kind(meta & 0x3)?;
+    if off >= PageSize::Size4K.bytes() {
+        return Err(invalid(format!("page offset {off} exceeds a 4 KB page")));
+    }
+    let dpc = un_zigzag(read_varint_slice(buf, pos)?);
+    let pc = prev_pc.wrapping_add(dpc as u64);
+    *prev_page = page;
+    *prev_pc = pc;
+    Ok(TraceEvent {
+        pc,
+        va: VirtAddr::from_page(Vpn::new(page), off),
+        kind,
+    })
+}
+
+/// Streaming reader/writer for the compact v2 trace format.
+///
+/// Iterating yields [`TraceEvent`]s exactly as [`crate::TraceFile`] does
+/// for v1 files, so the two formats are drop-in interchangeable on the
+/// replay side; blocks are checksum-verified as they stream.
+#[derive(Debug)]
+pub struct TraceFileV2 {
+    reader: BufReader<File>,
+    total: u64,
+    remaining: u64,
+    block: Vec<TraceEvent>,
+    cursor: usize,
+    /// Set after the first decode error; iteration ends rather than
+    /// resynchronizing inside a damaged stream.
+    poisoned: bool,
+}
+
+impl TraceFileV2 {
+    /// Records an event stream to `path` in v2 format. Returns the number
+    /// of events written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn record<I: IntoIterator<Item = TraceEvent>>(
+        path: impl AsRef<Path>,
+        events: I,
+    ) -> io::Result<u64> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?;
+        out.write_all(&0u64.to_le_bytes())?; // patched with the count below
+        let mut total = 0u64;
+        let mut payload = Vec::with_capacity(BLOCK_EVENTS * 8);
+        let mut framing = Vec::with_capacity(16);
+        let mut in_block = 0u64;
+        let mut prev_page = 0u64;
+        let mut prev_pc = 0u64;
+        for ev in events {
+            let (page, pc) = encode_event(&mut payload, &ev, prev_page, prev_pc);
+            prev_page = page;
+            prev_pc = pc;
+            in_block += 1;
+            total += 1;
+            if in_block as usize == BLOCK_EVENTS {
+                flush_block(&mut out, &mut framing, in_block, &mut payload)?;
+                in_block = 0;
+                prev_page = 0;
+                prev_pc = 0;
+            }
+        }
+        if in_block > 0 {
+            flush_block(&mut out, &mut framing, in_block, &mut payload)?;
+        }
+        out.flush()?;
+        out.seek(SeekFrom::Start(COUNT_OFFSET))?;
+        out.write_all(&total.to_le_bytes())?;
+        out.flush()?;
+        Ok(total)
+    }
+
+    /// Opens a v2 trace for streaming replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] if the file is not a v2
+    /// trace (bad magic, wrong version, or short header), or propagates
+    /// I/O errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<TraceFileV2> {
+        let file = File::open(&path)?;
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(invalid("not a mixtlb trace file (bad magic)"));
+        }
+        let mut word = [0u8; 4];
+        reader.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != VERSION {
+            return Err(invalid(format!(
+                "not a v2 trace (version {version}; use TraceFile for v1 \
+                 or `tracectl convert` to upgrade)"
+            )));
+        }
+        reader.read_exact(&mut word)?; // reserved
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count)?;
+        let total = u64::from_le_bytes(count);
+        Ok(TraceFileV2 {
+            reader,
+            total,
+            remaining: total,
+            block: Vec::new(),
+            cursor: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Total number of events the header promises.
+    pub fn event_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Loads and verifies the next block into the decode buffer.
+    fn load_block(&mut self) -> io::Result<bool> {
+        let Some(count) = read_varint_stream(&mut self.reader)? else {
+            if self.remaining == 0 {
+                return Ok(false);
+            }
+            return Err(invalid(format!(
+                "trace truncated: header promises {} more events",
+                self.remaining
+            )));
+        };
+        if count == 0 || count > self.remaining {
+            return Err(invalid(format!(
+                "block event count {count} outside the {} events remaining",
+                self.remaining
+            )));
+        }
+        let Some(payload_len) = read_varint_stream(&mut self.reader)? else {
+            return Err(invalid("block header truncated before payload length"));
+        };
+        // An event encodes to at most 22 bytes (two worst-case 10-byte
+        // zigzag varints plus a 2-byte offset/kind word); a longer claim is
+        // corruption, not a big block.
+        if payload_len > count * 22 + 64 {
+            return Err(invalid(format!(
+                "block payload length {payload_len} implausible for {count} events"
+            )));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|_| invalid("block payload truncated"))?;
+        let mut sum = [0u8; 8];
+        self.reader
+            .read_exact(&mut sum)
+            .map_err(|_| invalid("block checksum truncated"))?;
+        if u64::from_le_bytes(sum) != fnv1a(&payload) {
+            return Err(invalid("block checksum mismatch (corrupted payload)"));
+        }
+        self.block.clear();
+        self.cursor = 0;
+        let mut pos = 0usize;
+        let mut prev_page = 0u64;
+        let mut prev_pc = 0u64;
+        for _ in 0..count {
+            self.block
+                .push(decode_event(&payload, &mut pos, &mut prev_page, &mut prev_pc)?);
+        }
+        if pos != payload.len() {
+            return Err(invalid("block payload has trailing garbage"));
+        }
+        Ok(true)
+    }
+}
+
+/// Writes one framed block (count, payload length, payload, checksum) and
+/// clears `payload` for reuse.
+fn flush_block(
+    out: &mut impl Write,
+    framing: &mut Vec<u8>,
+    count: u64,
+    payload: &mut Vec<u8>,
+) -> io::Result<()> {
+    framing.clear();
+    write_varint(framing, count);
+    write_varint(framing, payload.len() as u64);
+    out.write_all(framing)?;
+    out.write_all(payload)?;
+    out.write_all(&fnv1a(payload).to_le_bytes())?;
+    payload.clear();
+    Ok(())
+}
+
+impl Iterator for TraceFileV2 {
+    type Item = io::Result<TraceEvent>;
+
+    fn next(&mut self) -> Option<io::Result<TraceEvent>> {
+        if self.poisoned {
+            return None;
+        }
+        if self.cursor == self.block.len() {
+            match self.load_block() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let ev = self.block[self.cursor];
+        self.cursor += 1;
+        self.remaining = self.remaining.saturating_sub(1);
+        Some(Ok(ev))
+    }
+}
+
+/// Reads just the magic and version of a trace file, for format-agnostic
+/// tooling (`tracectl info` and friends).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic, or propagates
+/// I/O errors (including a file shorter than the 12-byte prefix).
+pub fn probe_version(path: impl AsRef<Path>) -> io::Result<u32> {
+    let mut reader = BufReader::new(File::open(&path)?);
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("not a mixtlb trace file (bad magic)"));
+    }
+    let mut word = [0u8; 4];
+    reader.read_exact(&mut word)?;
+    Ok(u32::from_le_bytes(word))
+}
+
+/// The size in bytes the v1 fixed-record format would need for `events`
+/// events — the numerator of a v2 compression ratio.
+pub fn v1_equivalent_bytes(events: u64) -> u64 {
+    V1_HEADER_BYTES + events * V1_RECORD_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::workloads::WorkloadSpec;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mixtlb-test-v2-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_events(n: usize) -> Vec<TraceEvent> {
+        let spec = WorkloadSpec::by_name("gups")
+            .unwrap()
+            .with_footprint(1 << 24);
+        TraceGenerator::new(&spec, 7, Vpn::new(0x1000)).take(n).collect()
+    }
+
+    #[test]
+    fn roundtrip_across_block_boundaries() {
+        // Spans three blocks with a ragged tail.
+        let original = sample_events(BLOCK_EVENTS * 2 + 123);
+        let path = temp("roundtrip.mtc2");
+        let written = TraceFileV2::record(&path, original.iter().copied()).unwrap();
+        assert_eq!(written as usize, original.len());
+        let file = TraceFileV2::open(&path).unwrap();
+        assert_eq!(file.event_count() as usize, original.len());
+        let replayed: Vec<TraceEvent> = file.map(|e| e.unwrap()).collect();
+        assert_eq!(replayed, original);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let path = temp("empty.mtc2");
+        TraceFileV2::record(&path, std::iter::empty()).unwrap();
+        let mut file = TraceFileV2::open(&path).unwrap();
+        assert_eq!(file.event_count(), 0);
+        assert!(file.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compresses_the_fixed_format() {
+        let original = sample_events(20_000);
+        let path = temp("ratio.mtc2");
+        TraceFileV2::record(&path, original.iter().copied()).unwrap();
+        let v2 = std::fs::metadata(&path).unwrap().len();
+        let v1 = v1_equivalent_bytes(original.len() as u64);
+        assert!(
+            v2 * 2 < v1,
+            "v2 ({v2} B) should at least halve the v1 encoding ({v1} B)"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let original = sample_events(100);
+        let path = temp("trunc.mtc2");
+        TraceFileV2::record(&path, original.iter().copied()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let mut file = TraceFileV2::open(&path).unwrap();
+        let err = file.find_map(|e| e.err()).expect("must surface an error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_fails_its_checksum() {
+        let original = sample_events(100);
+        let path = temp("corrupt.mtc2");
+        TraceFileV2::record(&path, original.iter().copied()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut file = TraceFileV2::open(&path).unwrap();
+        let err = file.find_map(|e| e.err()).expect("must surface an error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chopped_tail_block_is_reported_missing() {
+        let original = sample_events(BLOCK_EVENTS + 500);
+        let path = temp("tail.mtc2");
+        TraceFileV2::record(&path, original.iter().copied()).unwrap();
+        // Find where block 2 starts by re-encoding block 1 alone.
+        let head = temp("tail-head.mtc2");
+        TraceFileV2::record(&head, original.iter().copied().take(BLOCK_EVENTS)).unwrap();
+        let cut = std::fs::metadata(&head).unwrap().len();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+        let file = TraceFileV2::open(&path).unwrap();
+        let mut ok = 0usize;
+        let mut err = None;
+        for e in file {
+            match e {
+                Ok(_) => ok += 1,
+                Err(x) => err = Some(x),
+            }
+        }
+        assert_eq!(ok, BLOCK_EVENTS, "first block still decodes");
+        let err = err.expect("the missing tail must be an error");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&head).ok();
+    }
+
+    #[test]
+    fn v1_files_are_rejected_with_a_convert_hint() {
+        let path = temp("v1.trc");
+        crate::TraceFile::record(&path, std::iter::empty()).unwrap();
+        let err = TraceFileV2::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 1"), "{err}");
+        assert_eq!(probe_version(&path).unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn probe_reports_v2() {
+        let path = temp("probe.mtc2");
+        TraceFileV2::record(&path, std::iter::empty()).unwrap();
+        assert_eq!(probe_version(&path).unwrap(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

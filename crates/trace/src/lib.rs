@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 mod file;
+mod file_v2;
 mod generator;
 mod percore;
 mod workloads;
 
 pub use file::TraceFile;
+pub use file_v2::{probe_version, v1_equivalent_bytes, TraceFileV2};
 pub use generator::{TraceEvent, TraceGenerator};
 pub use percore::{split_partitioned, split_shared, CoreStream};
 pub use workloads::{AccessPattern, WorkloadClass, WorkloadSpec};

@@ -77,6 +77,7 @@ impl Translation {
     ///
     /// Returns [`TranslationError::OutOfRange`] if the address is not inside
     /// this mapping.
+    #[inline]
     pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, TranslationError> {
         if !self.covers(va.vpn()) {
             return Err(TranslationError::OutOfRange);
@@ -89,6 +90,7 @@ impl Translation {
 
     /// The physical frame backing a specific 4 KB virtual page inside this
     /// mapping, or `None` if the page is outside the mapping.
+    #[inline]
     pub fn frame_for(&self, vpn: Vpn) -> Option<Pfn> {
         if !self.covers(vpn) {
             return None;

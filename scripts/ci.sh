@@ -28,4 +28,32 @@ echo "==> mixtlb-check --model (time-boxed shootdown model check)"
 # bounds its own schedule counts, so this stays well under a minute.
 timeout 300 cargo run --release -q -p mixtlb-check -- --model
 
+if [[ "${MIXTLB_SKIP_PERFGATE:-0}" == "1" ]]; then
+  echo "==> perfgate skipped (MIXTLB_SKIP_PERFGATE=1)"
+else
+  echo "==> perfgate self-test (gate logic on synthetic reports)"
+  timeout 60 cargo run --release -q -p mixtlb-perf --bin perfgate -- self-test
+
+  echo "==> perfgate regression gate (quick measure vs committed BENCH_*.json)"
+  # Replays the two most timing-sensitive pinned corpus workloads and
+  # compares scalar-split-normalized throughput against the most recent
+  # committed BENCH_<pr>.json. Normalization cancels uniform machine-speed
+  # differences between the runner that committed the baseline and this
+  # one; --aggregate gates the per-path geomean rather than individual
+  # triples because per-process allocation layout moves nanosecond-scale
+  # batched loops by up to ~3.5x per triple on shared runners (measured),
+  # while a real regression moves the whole path. Tighten on a dedicated
+  # quiet machine: MIXTLB_PERFGATE_TOLERANCE=0.10 ./scripts/ci.sh
+  baseline=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
+  if [[ -z "$baseline" ]]; then
+    echo "no committed BENCH_*.json baseline; skipping gate" >&2
+    exit 1
+  fi
+  timeout 600 cargo run --release -q -p mixtlb-perf --bin perfgate -- \
+    measure --quick --out target/BENCH_ci.json
+  timeout 60 cargo run --release -q -p mixtlb-perf --bin perfgate -- \
+    gate --prev "$baseline" --curr target/BENCH_ci.json --aggregate \
+    --tolerance "${MIXTLB_PERFGATE_TOLERANCE:-0.40}"
+fi
+
 echo "CI OK"

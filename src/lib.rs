@@ -24,6 +24,7 @@
 //! | [`energy`] | CACTI-style parametric energy model |
 //! | [`sim`] | translation engine, analytical perf model, native/virt scenarios |
 //! | [`gpu`] | multi-SM GPU scenarios with per-SM L1 TLBs |
+//! | [`perf`] | perfgate benchmarking: pinned corpora, batched replay timing, regression gate |
 //!
 //! # Quick start
 //!
@@ -63,6 +64,7 @@ pub use mixtlb_gpu as gpu;
 pub use mixtlb_mem as mem;
 pub use mixtlb_os as os;
 pub use mixtlb_pagetable as pagetable;
+pub use mixtlb_perf as perf;
 pub use mixtlb_sim as sim;
 pub use mixtlb_trace as trace;
 pub use mixtlb_types as types;

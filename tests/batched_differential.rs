@@ -1,0 +1,113 @@
+//! Differential regression: `translate_batch` must be observably
+//! indistinguishable from per-event `access` for EVERY design and every
+//! pinned corpus workload — identical per-access physical addresses and
+//! identical architectural statistics.
+//!
+//! The batched path's two shortcuts are each covered by a soundness
+//! argument (see `TranslationEngine::translate_batch`); this test is the
+//! executable check of those arguments across the full design zoo:
+//!
+//! * Engine counters must match exactly, except `stall_cycles` on the
+//!   prediction-based designs — window hits skip predictor training, which
+//!   may change later probe *order* (serial-probe stalls) but never
+//!   presence, translations, or miss traffic.
+//! * L1 device stats are compared on their architectural-state facets
+//!   (misses, fills, writes, evictions, merges, invalidations, dirty
+//!   micro-ops). Probe-effort facets (lookups, hits, sets probed, entries
+//!   read, serial probes, predictor counters) legitimately differ: the
+//!   reuse window answers some accesses without touching the device.
+//! * L2 stats must match on every field: the batched path only elides L1
+//!   probes that are provably hits, so L2 must see the exact same stream.
+
+use mixtlb::core::TlbStats;
+use mixtlb::perf::{corpus_catalog, prepare_scenario, CorpusWorkload};
+use mixtlb::sim::designs::all_cpu_designs;
+use mixtlb::sim::{TranslationEngine, WalkBackend};
+use mixtlb::trace::{TraceEvent, TraceGenerator};
+
+/// Events per (design, workload) replay. Small enough that the full
+/// 8-design × 6-workload sweep stays in tier-1 test budget, large enough
+/// to cycle every L1 and L2 and exercise evictions and dirty micro-ops.
+const EVENTS: u64 = 20_000;
+
+fn l1_architectural_facets(s: &TlbStats) -> [u64; 8] {
+    [
+        s.misses,
+        s.fills,
+        s.entries_written,
+        s.evictions,
+        s.dup_merges,
+        s.coalesce_merges,
+        s.invalidations,
+        s.dirty_microops,
+    ]
+}
+
+#[test]
+fn batched_replay_is_differentially_identical_to_scalar() {
+    for w in corpus_catalog() {
+        let w = CorpusWorkload {
+            name: w.name,
+            events: EVENTS,
+        };
+        let scenario = prepare_scenario(w.name).expect("corpus workload in catalog");
+        let events: Vec<TraceEvent> =
+            TraceGenerator::new(scenario.spec(), scenario.seed(), scenario.region())
+                .take(w.events as usize)
+                .collect();
+        for (design, factory) in all_cpu_designs() {
+            let predictive = matches!(design, "hr+pred" | "skew+pred");
+
+            let mut pt_a = scenario.clone_page_table();
+            let mut scalar = TranslationEngine::new(factory(), WalkBackend::Native(&mut pt_a));
+            let scalar_out: Vec<_> = events.iter().map(|ev| scalar.access(ev)).collect();
+            let scalar_stats = scalar.stats();
+            let scalar_l1 = scalar.hierarchy().l1.stats();
+            let scalar_l2 = scalar.hierarchy().l2.as_ref().map(|l2| l2.stats());
+
+            let mut pt_b = scenario.clone_page_table();
+            let mut batched = TranslationEngine::new(factory(), WalkBackend::Native(&mut pt_b));
+            let mut batched_out = Vec::new();
+            batched.translate_batch(&events, &mut batched_out);
+            let batched_stats = batched.stats();
+            let batched_l1 = batched.hierarchy().l1.stats();
+            let batched_l2 = batched.hierarchy().l2.as_ref().map(|l2| l2.stats());
+
+            assert_eq!(
+                scalar_out.len(),
+                batched_out.len(),
+                "{design}/{}: output length",
+                w.name
+            );
+            for (i, (s, b)) in scalar_out.iter().zip(batched_out.iter()).enumerate() {
+                assert_eq!(
+                    s, b,
+                    "{design}/{}: physical address diverges at access {i}",
+                    w.name
+                );
+            }
+
+            if predictive {
+                let mut s = scalar_stats;
+                let mut b = batched_stats;
+                s.stall_cycles = 0;
+                b.stall_cycles = 0;
+                assert_eq!(s, b, "{design}/{}: engine stats (stall-exempt)", w.name);
+            } else {
+                assert_eq!(
+                    scalar_stats, batched_stats,
+                    "{design}/{}: engine stats",
+                    w.name
+                );
+            }
+
+            assert_eq!(
+                l1_architectural_facets(&scalar_l1),
+                l1_architectural_facets(&batched_l1),
+                "{design}/{}: L1 architectural stats",
+                w.name
+            );
+            assert_eq!(scalar_l2, batched_l2, "{design}/{}: L2 stats", w.name);
+        }
+    }
+}
