@@ -1,0 +1,461 @@
+//! Interprocedural dataflow scaffolding plus the `hot-path` rule.
+//!
+//! Three reusable pieces for the concurrency rules ([`super::lockset`],
+//! [`super::atomics`]):
+//!
+//! * **SCC condensation** ([`condense`]) — iterative Tarjan over the
+//!   call graph, yielding components in bottom-up order (callees before
+//!   callers for caller→callee edges). Summary propagation runs one
+//!   direction over the component DAG with a fixpoint loop *inside*
+//!   each component, which terminates because every transfer function
+//!   is monotone over a finite lattice.
+//! * **Lock-set lattice** ([`LockSet`], [`LockNames`]) — the Eraser
+//!   lattice: sets of interned lock names under intersection, packed
+//!   into a 64-bit bitset. `FULL` (all ones) is the lattice top used to
+//!   seed intersections.
+//! * **`hot-path`** ([`hot_path`]) — walks the call graph *down* from
+//!   the batched-translation entry points and the smp replay inner
+//!   loop, flagging heap allocation, `clone()`, and formatting
+//!   machinery in anything reachable. Resolution is name-based and
+//!   over-approximate, so traversal is cut at constructor-shaped sinks
+//!   (`new`, `default`, …) — every workspace `new` would otherwise be
+//!   "hot" via `Vec::new` false edges — trading false negatives inside
+//!   constructors for a signal that stays actionable.
+
+use std::collections::HashMap;
+
+use super::callgraph::CallGraph;
+use super::lexer::{Tok, TokKind};
+use super::outline::ParsedFile;
+use super::rules::RuleFinding;
+use super::symbols::crate_of;
+use crate::lint::FileKind;
+
+// ---------------------------------------------------------------------
+// SCC condensation
+// ---------------------------------------------------------------------
+
+/// Strongly-connected-component condensation of a directed graph.
+#[derive(Debug)]
+pub(crate) struct Condensation {
+    /// Node index → component id.
+    pub comp_of: Vec<usize>,
+    /// Component id → member node indices. Component ids are assigned in
+    /// Tarjan emission order, which is **bottom-up**: for an edge
+    /// `u → v` in different components, `comp_of[v] < comp_of[u]`.
+    pub comps: Vec<Vec<usize>>,
+}
+
+/// Computes the SCC condensation of the graph with `n` nodes and
+/// successor lists `succ` (iterative Tarjan; no recursion so fixture
+/// pathologies cannot blow the stack).
+pub(crate) fn condense(n: usize, succ: &[Vec<usize>]) -> Condensation {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp_of = vec![UNSEEN; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNSEEN {
+            continue;
+        }
+        index[start] = next;
+        low[start] = next;
+        next += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call.push((start, 0));
+        while let Some((v, pos)) = call.last_mut() {
+            let v = *v;
+            if *pos < succ[v].len() {
+                let w = succ[v][*pos];
+                *pos += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some((p, _)) = call.last() {
+                    low[*p] = low[*p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp_of[w] = comps.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    Condensation { comp_of, comps }
+}
+
+/// Successor adjacency lists from the call graph's edge set,
+/// index-sorted for deterministic traversal.
+pub(crate) fn successors(graph: &CallGraph) -> Vec<Vec<usize>> {
+    let mut succ = vec![Vec::new(); graph.nodes.len()];
+    for &(a, b) in &graph.edges {
+        succ[a].push(b);
+    }
+    for s in &mut succ {
+        s.sort_unstable();
+    }
+    succ
+}
+
+// ---------------------------------------------------------------------
+// Lock-set lattice
+// ---------------------------------------------------------------------
+
+/// A set of interned locks as a 64-bit bitset. `Default` is the empty
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct LockSet(pub u64);
+
+impl LockSet {
+    /// The empty set (lattice bottom).
+    pub const EMPTY: LockSet = LockSet(0);
+    /// All locks (lattice top — seed value for intersections).
+    pub const FULL: LockSet = LockSet(u64::MAX);
+
+    /// Set union.
+    pub fn union(self, o: LockSet) -> LockSet {
+        LockSet(self.0 | o.0)
+    }
+
+    /// Set intersection.
+    pub fn inter(self, o: LockSet) -> LockSet {
+        LockSet(self.0 & o.0)
+    }
+
+    /// This set plus one lock bit.
+    pub fn with(self, bit: u32) -> LockSet {
+        LockSet(self.0 | (1u64 << bit))
+    }
+
+    /// `true` when no lock is held.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Lock-name interner, capped at 64 distinct locks (the bitset width).
+/// Locks past the cap are untracked: [`LockNames::bit`] returns `None`
+/// and scanners treat the acquisition as a no-op. That direction can
+/// only *add* findings on pathological lock populations; it never
+/// silently protects a racy write.
+#[derive(Debug, Default)]
+pub(crate) struct LockNames {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl LockNames {
+    /// Interns `name`, returning its bit (or `None` past the cap).
+    pub fn bit(&mut self, name: &str) -> Option<u32> {
+        if let Some(&b) = self.by_name.get(name) {
+            return Some(b);
+        }
+        if self.names.len() >= 64 {
+            return None;
+        }
+        let b = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), b);
+        Some(b)
+    }
+
+    /// Renders a set as `{a, b}` for messages (deterministic: interning
+    /// order is source order).
+    pub fn render(&self, set: LockSet) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        for (i, n) in self.names.iter().enumerate() {
+            if set.0 & (1u64 << i) != 0 {
+                parts.push(n);
+            }
+        }
+        if parts.is_empty() {
+            "{}".to_owned()
+        } else {
+            format!("{{{}}}", parts.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// hot-path rule
+// ---------------------------------------------------------------------
+
+/// Root functions by simple name: the batched translation entry points.
+const HOT_ROOT_NAMES: [&str; 2] = ["translate_batch", "lookup_batch"];
+/// Root functions by qualified name: the smp replay inner loop.
+const HOT_ROOT_QUALS: [&str; 2] = ["SmpCore::run", "SmpCore::step"];
+
+/// Callee names the downward walk does not enter. Name-based resolution
+/// links `Vec::new(…)`/`X::from(…)`/`….clone()` call tokens to every
+/// workspace fn with that name; constructors and conversion fns are
+/// exactly where allocation is *expected*, so entering them would flag
+/// the whole workspace. Their call sites in hot code are still flagged
+/// by the token patterns below where they matter (`Box::new`, `clone`).
+const COLD_SINKS: [&str; 7] = ["new", "default", "from", "clone", "fmt", "drop", "with_capacity"];
+
+/// One flagged token pattern: what it looks like and what to say.
+struct HotSite {
+    line: u32,
+    what: &'static str,
+    category: &'static str,
+}
+
+/// Runs the hot-path reachability lint. Returns findings plus the
+/// number of hot-reachable functions (for `--stats`).
+pub(crate) fn hot_path(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+) -> (Vec<(usize, RuleFinding)>, usize) {
+    let succ = successors(graph);
+    let n = graph.nodes.len();
+    // Which nodes participate at all: non-test library fns outside the
+    // analyzer's own crate.
+    let eligible: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|node| {
+            let file = &files[node.file];
+            let f = &file.fns[node.fn_idx];
+            file.kind == FileKind::Lib && !f.is_test && crate_of(&file.path) != "check"
+        })
+        .collect();
+    // BFS down from the roots, recording one predecessor per node so the
+    // finding message can show a concrete call path.
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut reached = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        if !eligible[ni] {
+            continue;
+        }
+        let f = &files[node.file].fns[node.fn_idx];
+        if HOT_ROOT_NAMES.contains(&f.name.as_str()) || HOT_ROOT_QUALS.contains(&f.qual.as_str())
+        {
+            reached[ni] = true;
+            queue.push_back(ni);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &w in &succ[v] {
+            if reached[w] || !eligible[w] {
+                continue;
+            }
+            let node = &graph.nodes[w];
+            let f = &files[node.file].fns[node.fn_idx];
+            if COLD_SINKS.contains(&f.name.as_str()) || (f.in_trait_impl && f.name == "fmt") {
+                continue;
+            }
+            // `#[cold]` is the compiler's own unlikely-path hint; trust
+            // it — error constructors and fault paths live there.
+            if f.is_cold {
+                continue;
+            }
+            reached[w] = true;
+            pred[w] = Some(v);
+            queue.push_back(w);
+        }
+    }
+    let reachable = reached.iter().filter(|r| **r).count();
+
+    let mut out = Vec::new();
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        if !reached[ni] {
+            continue;
+        }
+        let file = &files[node.file];
+        let f = &file.fns[node.fn_idx];
+        let Some((from, to)) = f.body else { continue };
+        let path = call_path(files, graph, &pred, ni);
+        for site in scan_hot_sites(&file.toks, from, to) {
+            out.push((
+                node.file,
+                RuleFinding {
+                    rule: "hot-path",
+                    line: site.line,
+                    message: format!(
+                        "{} `{}` in `{}`, which is reachable from a hot \
+                         root ({}) — the batched translation and replay \
+                         loops must stay free of per-event allocation and \
+                         formatting; hoist the buffer to the caller, \
+                         pre-size it at construction, or move this work \
+                         off the hot path",
+                        site.category, site.what, f.qual, path
+                    ),
+                },
+            ));
+        }
+    }
+    (out, reachable)
+}
+
+/// Renders the BFS predecessor chain `root -> … -> node` (capped; the
+/// middle elides when long).
+fn call_path(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    pred: &[Option<usize>],
+    mut ni: usize,
+) -> String {
+    let mut names = Vec::new();
+    loop {
+        let node = &graph.nodes[ni];
+        names.push(files[node.file].fns[node.fn_idx].qual.clone());
+        match pred[ni] {
+            Some(p) => ni = p,
+            None => break,
+        }
+    }
+    names.reverse();
+    if names.len() > 5 {
+        let tail = names.split_off(names.len() - 2);
+        names.truncate(2);
+        names.push("…".to_owned());
+        names.extend(tail);
+    }
+    names.join(" -> ")
+}
+
+/// Paired `Type::method(` patterns that allocate.
+const PATH_ALLOC: [(&str, &str); 4] = [
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("Vec", "new"),
+];
+
+/// `.method(` calls that allocate or format.
+const METHOD_SITES: [(&str, &str); 4] = [
+    ("clone", "clone() call"),
+    ("to_string", "formatting"),
+    ("to_owned", "heap allocation"),
+    ("to_vec", "heap allocation"),
+];
+
+/// Formatting/allocating macros.
+const MACRO_SITES: [&str; 5] = ["format", "vec", "println", "eprintln", "write"];
+
+/// Scans one body token range for hot-path violations.
+fn scan_hot_sites(toks: &[Tok], from: usize, to: usize) -> Vec<HotSite> {
+    let mut out = Vec::new();
+    let hi = to.min(toks.len());
+    for i in from..hi {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |j: usize, p: &str| toks.get(i + j).is_some_and(|t| t.is(p));
+        // `name!(…)` macros.
+        if next_is(1, "!") && next_is(2, "(") && MACRO_SITES.contains(&t.text.as_str()) {
+            let category = if t.text == "vec" {
+                "heap allocation"
+            } else {
+                "formatting"
+            };
+            out.push(HotSite {
+                line: t.line,
+                what: match t.text.as_str() {
+                    "vec" => "vec![…]",
+                    "format" => "format!",
+                    "println" => "println!",
+                    "eprintln" => "eprintln!",
+                    _ => "write!",
+                },
+                category,
+            });
+            continue;
+        }
+        // `Type::method(` allocations.
+        if next_is(1, "::") && next_is(3, "(") {
+            if let Some(m) = toks.get(i + 2) {
+                if let Some((ty, me)) = PATH_ALLOC
+                    .iter()
+                    .find(|(ty, me)| *ty == t.text && *me == m.text)
+                {
+                    out.push(HotSite {
+                        line: t.line,
+                        what: match (*ty, *me) {
+                            ("Box", _) => "Box::new",
+                            ("String", "new") => "String::new",
+                            ("String", _) => "String::from",
+                            _ => "Vec::new",
+                        },
+                        category: "heap allocation",
+                    });
+                    continue;
+                }
+            }
+        }
+        // `.method()` clones/formatters (preceded by `.`).
+        if i > 0 && toks[i - 1].is(".") && next_is(1, "(") {
+            if let Some((_, cat)) = METHOD_SITES.iter().find(|(m, _)| *m == t.text) {
+                out.push(HotSite {
+                    line: t.line,
+                    what: match t.text.as_str() {
+                        "clone" => ".clone()",
+                        "to_string" => ".to_string()",
+                        "to_owned" => ".to_owned()",
+                        _ => ".to_vec()",
+                    },
+                    category: cat,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tarjan_finds_components_bottom_up() {
+        // 0 -> 1 <-> 2, 1 -> 3. Components: {0}, {1,2}, {3}.
+        let succ = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let c = condense(4, &succ);
+        assert_eq!(c.comps.len(), 3);
+        assert_eq!(c.comp_of[1], c.comp_of[2]);
+        assert_ne!(c.comp_of[0], c.comp_of[1]);
+        // Bottom-up: callee components numbered before callers.
+        assert!(c.comp_of[3] < c.comp_of[1]);
+        assert!(c.comp_of[1] < c.comp_of[0]);
+    }
+
+    #[test]
+    fn lockset_lattice_basics() {
+        let mut names = LockNames::default();
+        let a = names.bit("alpha").unwrap_or(63);
+        let b = names.bit("beta").unwrap_or(63);
+        assert_eq!(names.bit("alpha"), Some(a));
+        let sa = LockSet::EMPTY.with(a);
+        let sb = LockSet::EMPTY.with(b);
+        assert!(sa.inter(sb).is_empty());
+        assert_eq!(sa.union(sb).inter(sa), sa);
+        assert_eq!(names.render(sa.union(sb)), "{alpha, beta}");
+        assert_eq!(names.render(LockSet::EMPTY), "{}");
+        assert_eq!(LockSet::FULL.inter(sa), sa);
+    }
+}

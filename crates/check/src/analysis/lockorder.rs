@@ -116,7 +116,7 @@ impl LockOrderGraph {
 }
 
 /// Guard-returning zero-argument acquisition methods.
-const ACQUIRE: [&str; 3] = ["lock", "read", "write"];
+pub(crate) const ACQUIRE: [&str; 3] = ["lock", "read", "write"];
 
 /// Scans a body token range for acquisition sites, in source order.
 fn acquisitions(file: &ParsedFile, from: usize, to: usize) -> Vec<Acquisition> {
@@ -144,8 +144,10 @@ fn acquisitions(file: &ParsedFile, from: usize, to: usize) -> Vec<Acquisition> {
 
 /// Walks left from the `.` at `dot` to build the normalized receiver
 /// path. Returns `None` when no identifier anchors the receiver (e.g. a
-/// parenthesized temporary — too dynamic to name statically).
-fn receiver_path(file: &ParsedFile, floor: usize, dot: usize) -> Option<String> {
+/// parenthesized temporary — too dynamic to name statically). Shared with
+/// the lockset and atomic-ordering rules, which name locks and atomics
+/// the same way.
+pub(crate) fn receiver_path(file: &ParsedFile, floor: usize, dot: usize) -> Option<String> {
     let toks = &file.toks;
     let mut parts: Vec<String> = Vec::new();
     let mut i = dot;

@@ -4,8 +4,10 @@
 //! small hand-rolled *front end*: the masked token stream
 //! ([`lexer`]) feeds an item/expression outline parser ([`outline`]),
 //! whose output builds a workspace symbol table ([`symbols`]) and a
-//! crate-level call graph ([`callgraph`]). On top run six semantic
-//! rules:
+//! crate-level call graph ([`callgraph`]). The call graph additionally
+//! feeds an interprocedural dataflow layer ([`dataflow`]: SCC
+//! condensation + lockset lattice) for the concurrency rules. Nine
+//! semantic rules run on top:
 //!
 //! | rule | checks | scope |
 //! |------|--------|-------|
@@ -15,6 +17,9 @@
 //! | `lock-order` | the static lock-acquisition graph is acyclic | lib, except `crates/check` |
 //! | `pagesize-match` | no `_` wildcard arms in `PageSize` matches | lib |
 //! | `bare-unwrap` | no `.unwrap()` in non-test library code | lib |
+//! | `lockset-race` | shared plain fields written under a consistent non-empty lockset ([`lockset`]) | lib, except `crates/check` |
+//! | `atomic-ordering` | no release-free publication / split RMW over atomics ([`atomics`]) | lib, except `crates/check` |
+//! | `hot-path` | no allocation/clone/formatting reachable from the hot loops ([`dataflow::hot_path`]) | lib, except `crates/check` |
 //!
 //! Unlike the lint pass there are **no inline suppression markers**:
 //! accepted findings live in one committed baseline file
@@ -23,10 +28,13 @@
 //! its git history. CI runs `--analyze` and fails on any finding not in
 //! the baseline.
 
+pub(crate) mod atomics;
 pub(crate) mod baseline;
 pub(crate) mod callgraph;
+pub(crate) mod dataflow;
 pub(crate) mod lexer;
 pub(crate) mod lockorder;
+pub(crate) mod lockset;
 pub(crate) mod outline;
 pub(crate) mod rules;
 pub(crate) mod sarif;
@@ -44,13 +52,16 @@ pub use baseline::{fingerprint, Baseline};
 pub use sarif::{to_json, to_sarif};
 
 /// All analysis rule identifiers (order is the report order).
-pub const ANALYSIS_RULES: [&str; 6] = [
+pub const ANALYSIS_RULES: [&str; 9] = [
     "addr-arith",
     "truncating-cast",
     "dead-code",
     "lock-order",
     "pagesize-match",
     "bare-unwrap",
+    "lockset-race",
+    "atomic-ordering",
+    "hot-path",
 ];
 
 /// One input file for [`analyze_sources`].
@@ -103,6 +114,18 @@ pub struct AnalysisStats {
     pub symbols: usize,
     /// Call-graph edges resolved.
     pub call_edges: usize,
+    /// Named-field structs outlined.
+    pub structs: usize,
+    /// Structs the lockset model classifies as cross-thread shared.
+    pub shared_structs: usize,
+    /// Call-graph strongly connected components.
+    pub sccs: usize,
+    /// Functions reachable from the hot-path roots.
+    pub hot_fns: usize,
+    /// Wall time of the (parallel) per-file lex/outline phase, ns.
+    pub parse_nanos: u128,
+    /// Wall time of symbol/graph construction plus all rules, ns.
+    pub rules_nanos: u128,
 }
 
 /// Result of analyzing a file set.
@@ -118,6 +141,8 @@ pub struct AnalysisReport {
     pub lock_edges: Vec<String>,
     /// Findings suppressed by the applied baseline.
     pub baselined: usize,
+    /// Baseline-suppressed finding counts per rule (for `--stats`).
+    pub baselined_by_rule: Vec<(&'static str, usize)>,
 }
 
 impl AnalysisReport {
@@ -127,25 +152,90 @@ impl AnalysisReport {
     }
 
     /// Removes findings whose fingerprints the baseline accepts,
-    /// recording how many were suppressed.
+    /// recording how many were suppressed (total and per rule).
     pub fn apply_baseline(&mut self, baseline: &Baseline) {
         let before = self.findings.len();
-        self.findings.retain(|f| !baseline.contains(&f.fingerprint));
+        self.findings.retain(|f| {
+            let keep = !baseline.contains(&f.fingerprint);
+            if !keep {
+                match self.baselined_by_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+                    Some((_, n)) => *n += 1,
+                    None => self.baselined_by_rule.push((f.rule, 1)),
+                }
+            }
+            keep
+        });
         self.baselined += before - self.findings.len();
     }
+}
+
+/// Parses every source, fanning the per-file lex/outline phase across
+/// `std::thread` workers (index-claimed work queue). Results land in
+/// input order regardless of scheduling, so every downstream consumer
+/// — and the finding order — is deterministic.
+fn parse_all(sources: &[SourceFile]) -> Vec<ParsedFile> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(sources.len().max(1))
+        .min(8);
+    if workers <= 1 {
+        return sources
+            .iter()
+            .map(|s| ParsedFile::parse(&s.path, s.kind, &s.text))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let chunks: Vec<Vec<(usize, ParsedFile)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        let Some(src) = sources.get(i) else { break };
+                        out.push((i, ParsedFile::parse(&src.path, src.kind, &src.text)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let mut slots: Vec<Option<ParsedFile>> = Vec::new();
+    slots.resize_with(sources.len(), || None);
+    for (i, parsed) in chunks.into_iter().flatten() {
+        slots[i] = Some(parsed);
+    }
+    // A slot can only be empty if a worker died mid-file; reparse
+    // serially rather than losing the file.
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                ParsedFile::parse(&sources[i].path, sources[i].kind, &sources[i].text)
+            })
+        })
+        .collect()
 }
 
 /// Analyzes an explicit file set (the fixture tests drive this directly;
 /// [`analyze_workspace`] feeds it from disk).
 pub fn analyze_sources(sources: &[SourceFile]) -> AnalysisReport {
-    let parsed: Vec<ParsedFile> = sources
-        .iter()
-        .map(|s| ParsedFile::parse(&s.path, s.kind, &s.text))
-        .collect();
+    let parse_started = std::time::Instant::now();
+    let parsed: Vec<ParsedFile> = parse_all(sources);
+    let parse_nanos = parse_started.elapsed().as_nanos();
+    let rules_started = std::time::Instant::now();
     let table = symbols::SymbolTable::build(&parsed);
     let graph = callgraph::CallGraph::build(&parsed);
     let refs = callgraph::count_references(&parsed);
     let locks = lockorder::LockOrderGraph::extract(&parsed);
+    let shared = lockset::SharedModel::build(&parsed);
 
     let mut raw: Vec<(usize, &'static str, usize, String)> = Vec::new();
 
@@ -154,6 +244,19 @@ pub fn analyze_sources(sources: &[SourceFile]) -> AnalysisReport {
         for f in rules::file_rules(file) {
             raw.push((fi, f.rule, f.line as usize, f.message));
         }
+    }
+
+    // Interprocedural concurrency rules (see the module table).
+    let lockset_result = lockset::lockset_race(&parsed, &graph, &shared);
+    for (fi, f) in lockset_result.findings {
+        raw.push((fi, f.rule, f.line as usize, f.message));
+    }
+    for (fi, f) in atomics::atomic_ordering(&parsed, sources, &graph, &shared) {
+        raw.push((fi, f.rule, f.line as usize, f.message));
+    }
+    let (hot_findings, hot_fns) = dataflow::hot_path(&parsed, &graph);
+    for (fi, f) in hot_findings {
+        raw.push((fi, f.rule, f.line as usize, f.message));
     }
 
     // dead-code: exported symbols nobody references.
@@ -296,9 +399,16 @@ pub fn analyze_sources(sources: &[SourceFile]) -> AnalysisReport {
             functions: parsed.iter().map(|p| p.fns.len()).sum(),
             symbols: table.syms.len(),
             call_edges: graph.edges.len(),
+            structs: parsed.iter().map(|p| p.structs.len()).sum(),
+            shared_structs: lockset_result.shared_structs,
+            sccs: lockset_result.sccs,
+            hot_fns,
+            parse_nanos,
+            rules_nanos: rules_started.elapsed().as_nanos(),
         },
         lock_edges,
         baselined: 0,
+        baselined_by_rule: Vec::new(),
     }
 }
 

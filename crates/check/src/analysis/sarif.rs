@@ -41,6 +41,19 @@ fn rule_description(rule: &str) -> &'static str {
             "`.unwrap()` in non-test library code; use expect(\"why\") or \
              propagate the error."
         }
+        "lockset-race" => {
+            "Plain field of a cross-thread-shared struct written under an \
+             empty or inconsistent lockset (interprocedural Eraser-style \
+             analysis)."
+        }
+        "atomic-ordering" => {
+            "Release-free publication or split load/store read-modify-write \
+             over an atomic field (interprocedural ordering dataflow)."
+        }
+        "hot-path" => {
+            "Heap allocation, clone(), or formatting machinery reachable \
+             from the batched-translation/replay hot loops."
+        }
         _ => "mixtlb-check analysis rule.",
     }
 }
@@ -95,11 +108,15 @@ pub fn to_json(report: &AnalysisReport) -> String {
         ));
     }
     out.push_str(&format!(
-        "\n  ],\n  \"stats\": {{ \"files\": {}, \"functions\": {}, \"symbols\": {}, \"call_edges\": {}, \"lock_edges\": {}, \"baselined\": {} }}\n}}\n",
+        "\n  ],\n  \"stats\": {{ \"files\": {}, \"functions\": {}, \"symbols\": {}, \"call_edges\": {}, \"structs\": {}, \"shared_structs\": {}, \"sccs\": {}, \"hot_fns\": {}, \"lock_edges\": {}, \"baselined\": {} }}\n}}\n",
         report.stats.files,
         report.stats.functions,
         report.stats.symbols,
         report.stats.call_edges,
+        report.stats.structs,
+        report.stats.shared_structs,
+        report.stats.sccs,
+        report.stats.hot_fns,
         report.lock_edges.len(),
         report.baselined
     ));
@@ -126,9 +143,11 @@ mod tests {
                 functions: 7,
                 symbols: 5,
                 call_edges: 4,
+                ..AnalysisStats::default()
             },
             lock_edges: vec![],
             baselined: 0,
+            baselined_by_rule: vec![],
         }
     }
 

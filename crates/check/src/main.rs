@@ -2,19 +2,25 @@
 //!
 //! ```text
 //! mixtlb-check --lint [ROOT]     # token-level workspace lint pass
-//! mixtlb-check --analyze [ROOT]  # structural static analysis (6 semantic rules)
+//! mixtlb-check --analyze [ROOT]  # structural static analysis (9 semantic rules)
 //!               [--format text|json|sarif] [--baseline PATH]
-//!               [--update-baseline] [--locks]
+//!               [--update-baseline] [--locks] [--stats]
 //! mixtlb-check --model           # bounded model-check of the shootdown protocol
 //! mixtlb-check --list-rules      # print lint + analysis rule identifiers
 //! ```
 //!
-//! `--lint` and `--analyze` exit non-zero when any finding remains, so CI
-//! can gate on them. `--analyze` loads `ROOT/check-baseline.json` (or
+//! Exit codes are uniform across `--lint`, `--analyze`, and `--model`:
+//! **0** — clean; **1** — findings (or a model failure) remain; **2** —
+//! internal error (bad arguments, unreadable root or baseline). CI gates
+//! on "non-zero" without distinguishing, while scripts that want to
+//! separate "the code is dirty" from "the tool is broken" can.
+//!
+//! `--analyze` loads `ROOT/check-baseline.json` (or
 //! `--baseline PATH`) and reports only non-baselined findings;
 //! `--update-baseline` rewrites that file from the current findings —
 //! the committed diff is the audit trail. `--locks` additionally prints
-//! the extracted static lock-acquisition order. `--model` runs the
+//! the extracted static lock-acquisition order; `--stats` prints
+//! per-rule finding counts and analysis wall time. `--model` runs the
 //! time-boxed subset of the interleaving exploration (the full suites
 //! live in `cargo test -p mixtlb-check --features model`): the correct
 //! two-core shootdown protocol must pass *every* schedule up to the
@@ -49,7 +55,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: mixtlb-check --lint [ROOT] | --analyze [ROOT] \
                  [--format text|json|sarif] [--baseline PATH] \
-                 [--update-baseline] [--locks] | --model | --list-rules"
+                 [--update-baseline] [--locks] [--stats] | --model | \
+                 --list-rules"
             );
             ExitCode::from(2)
         }
@@ -63,6 +70,7 @@ fn run_analyze(args: &[String]) -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut update_baseline = false;
     let mut show_locks = false;
+    let mut show_stats = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,6 +92,7 @@ fn run_analyze(args: &[String]) -> ExitCode {
             },
             "--update-baseline" => update_baseline = true,
             "--locks" => show_locks = true,
+            "--stats" => show_stats = true,
             other if !other.starts_with("--") && root.is_none() => {
                 root = Some(PathBuf::from(other));
             }
@@ -152,6 +161,9 @@ fn run_analyze(args: &[String]) -> ExitCode {
                 report.findings.len(),
                 report.baselined
             );
+            if show_stats {
+                print_stats(&report);
+            }
         }
     }
     if report.is_clean() {
@@ -159,6 +171,33 @@ fn run_analyze(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Prints the `--stats` block: per-rule finding counts (live and
+/// baselined) plus front-end shape and phase wall time.
+fn print_stats(report: &analysis::AnalysisReport) {
+    println!("analyze: per-rule findings:");
+    for rule in analysis::ANALYSIS_RULES {
+        let live = report.findings.iter().filter(|f| f.rule == rule).count();
+        let baselined = report
+            .baselined_by_rule
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map_or(0, |&(_, n)| n);
+        println!("  {rule:<16} {live} live, {baselined} baselined");
+    }
+    println!(
+        "analyze: front end: {} struct(s), {} shared, {} SCC(s), {} hot-reachable fn(s)",
+        report.stats.structs,
+        report.stats.shared_structs,
+        report.stats.sccs,
+        report.stats.hot_fns
+    );
+    println!(
+        "analyze: wall time: parse {:.1} ms, rules {:.1} ms",
+        report.stats.parse_nanos as f64 / 1e6,
+        report.stats.rules_nanos as f64 / 1e6
+    );
 }
 
 fn run_lint(root: Option<PathBuf>) -> ExitCode {

@@ -158,6 +158,135 @@ fn bare_unwrap_fixture_pair() {
     assert_eq!(rules_fired(&clean), [] as [&str; 0]);
 }
 
+#[test]
+fn lockset_race_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/lockset_race_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["lockset-race"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings.len() >= 4,
+        "inconsistent pair, unlocked write, and broken helper entry set \
+         must all fire: {:?}",
+        report.findings
+    );
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("inconsistent locksets")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("no lock held")),
+        "{msgs:?}"
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/lockset_race_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn atomic_ordering_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/atomic_ordering_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["atomic-ordering"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings.len() >= 3,
+        "both publication halves and the split RMW must fire: {:?}",
+        report.findings
+    );
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("justification marker")),
+        "the contradicted allow(relaxed-ordering) marker must be called \
+         out: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("load then store")),
+        "{msgs:?}"
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/atomic_ordering_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn hot_path_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/hot_path_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["hot-path"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings.len() >= 3,
+        "format!, clone(), and Vec::new in the hot helper must fire: {:?}",
+        report.findings
+    );
+    // The identical machinery in the non-hot `diagnostics` must NOT fire:
+    // every finding names the hot helper.
+    assert!(
+        report.findings.iter().all(|f| f.message.contains("`Engine::resolve`")),
+        "{:?}",
+        report.findings
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/hot_path_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+/// The per-file parse fans out across worker threads; findings must
+/// nevertheless come back in deterministic (file, line) order. Analyze
+/// the same multi-file, multi-rule workload repeatedly and require
+/// byte-identical finding lists.
+#[test]
+fn finding_order_is_stable_across_parallel_runs() {
+    let sources = [
+        lib(
+            "crates/a/src/lib.rs",
+            include_str!("fixtures/analysis/lockset_race_dirty.rs"),
+        ),
+        lib(
+            "crates/b/src/lib.rs",
+            include_str!("fixtures/analysis/atomic_ordering_dirty.rs"),
+        ),
+        lib(
+            "crates/c/src/lib.rs",
+            include_str!("fixtures/analysis/hot_path_dirty.rs"),
+        ),
+        lib(
+            "crates/d/src/lib.rs",
+            include_str!("fixtures/analysis/addr_arith_dirty.rs"),
+        ),
+        lib(
+            "crates/e/src/lib.rs",
+            include_str!("fixtures/analysis/truncating_cast_dirty.rs"),
+        ),
+        lib(
+            "crates/f/src/lib.rs",
+            include_str!("fixtures/analysis/lock_order_dirty.rs"),
+        ),
+    ];
+    let reference: Vec<String> =
+        analyze(&sources).findings.iter().map(|f| f.to_string()).collect();
+    assert!(!reference.is_empty());
+    for run in 0..8 {
+        let again: Vec<String> =
+            analyze(&sources).findings.iter().map(|f| f.to_string()).collect();
+        assert_eq!(reference, again, "finding order drifted on run {run}");
+    }
+}
+
 /// The SARIF log for the addr-arith dirty fixture, byte-for-byte. The
 /// fingerprints inside are line-insensitive, so this golden only churns
 /// when the rule's *output contract* changes — regenerate deliberately
@@ -205,4 +334,18 @@ fn workspace_is_analysis_clean() {
             .join("\n")
     );
     assert!(report.stats.files > 100, "workspace walk looks truncated");
+    // Pin that the interprocedural passes actually ran over the real
+    // workspace, not a degenerate front end: the shared-state model sees
+    // the concurrent structs, the condensation is non-trivial, and the
+    // hot roots reach a real slice of the call graph.
+    assert!(report.stats.structs > 50, "struct outline looks truncated");
+    assert!(
+        report.stats.shared_structs >= 1,
+        "SharedCache/SmpMachine should register as cross-thread shared"
+    );
+    assert!(report.stats.sccs > 100, "condensation looks degenerate");
+    assert!(
+        report.stats.hot_fns > 20,
+        "translate_batch/SmpCore::run should reach a real call-graph slice"
+    );
 }

@@ -1,0 +1,31 @@
+//! The disciplined twin of `hot_path_dirty.rs`: the batch loop reuses a
+//! caller-provided output buffer and a pre-sized scratch field, and the
+//! one formatting helper is `#[cold]` — the same unlikely-path hint the
+//! compiler uses, which the hot-path walk trusts and does not enter.
+
+pub struct Engine {
+    scratch: Vec<u64>,
+}
+
+impl Engine {
+    fn translate_batch(&mut self, vpns: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        for &vpn in vpns {
+            let t = self.resolve(vpn);
+            out.push(t);
+        }
+    }
+
+    fn resolve(&mut self, vpn: u64) -> u64 {
+        if vpn == 0 {
+            let _m = self.fault_message(vpn);
+        }
+        self.scratch.push(vpn);
+        vpn ^ 0xfff
+    }
+
+    #[cold]
+    fn fault_message(&self, vpn: u64) -> String {
+        format!("fault at vpn {vpn}")
+    }
+}

@@ -1,0 +1,39 @@
+//! The disciplined twin of `lockset_race_dirty.rs`: every plain-field
+//! write of the shared struct happens under the same lock — directly,
+//! through a private helper whose entry lockset is non-empty at every
+//! call site, or through a guard-returning accessor — or under `&mut
+//! self`, which is exclusive access and needs no lock.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct ShardStats {
+    m: Mutex<u64>,
+    hits: u64,
+    epoch: u64,
+}
+
+impl ShardStats {
+    fn record_hit(&self) {
+        let _g = self.m.lock();
+        self.hits += 1;
+    }
+
+    fn record_probe_hit(&self) {
+        let _g = self.m.lock();
+        self.hits += 1;
+    }
+
+    fn guard(&self) -> MutexGuard<'_, u64> {
+        self.m.lock()
+    }
+
+    fn tick(&self) {
+        let _g = self.guard();
+        self.epoch += 1;
+    }
+
+    fn reset(&mut self) {
+        self.hits = 0;
+        self.epoch = 0;
+    }
+}

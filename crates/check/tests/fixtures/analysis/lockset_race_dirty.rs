@@ -1,0 +1,48 @@
+//! Seeded lockset-race bugs: a cross-thread-shared struct (it owns
+//! `Mutex` fields) whose plain counters are written under inconsistent
+//! or empty locksets. Expected findings:
+//!   1+2. `hits` is written under `alpha` in one method and `beta` in
+//!        another — the intersection over all write sites is empty, so
+//!        both sites fire (Eraser discipline).
+//!   3.   `epoch` is written in a `&self` method with no lock at all.
+//!   4.   `evictions` is written in a private helper whose entry lockset
+//!        collapses to empty because one caller skips the lock.
+
+use std::sync::Mutex;
+
+pub struct ShardStats {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+    hits: u64,
+    epoch: u64,
+    evictions: u64,
+}
+
+impl ShardStats {
+    fn record_hit(&self) {
+        let _g = self.alpha.lock();
+        self.hits += 1;
+    }
+
+    fn record_hit_alt(&self) {
+        let _g = self.beta.lock();
+        self.hits += 1;
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch += 1;
+    }
+
+    fn note_eviction(&self) {
+        self.evictions += 1;
+    }
+
+    fn evict(&self) {
+        let _g = self.alpha.lock();
+        self.note_eviction();
+    }
+
+    fn evict_unlocked(&self) {
+        self.note_eviction();
+    }
+}

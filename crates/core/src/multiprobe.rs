@@ -212,8 +212,12 @@ impl TlbDevice for MultiProbeTlb {
     }
 
     fn lookup(&mut self, vpn: Vpn, kind: AccessKind) -> Lookup {
-        let order = self.config.sizes.clone();
-        self.lookup_ordered(vpn, kind, &order)
+        // Copy the probe order to the stack (at most one slot per page
+        // size) so the per-lookup path stays allocation-free.
+        let mut order = [PageSize::Size4K; PageSize::ALL.len()];
+        let n = self.config.sizes.len().min(order.len());
+        order[..n].copy_from_slice(&self.config.sizes[..n]);
+        self.lookup_ordered(vpn, kind, &order[..n])
     }
 
     fn fill(&mut self, _vpn: Vpn, requested: &Translation, _line: &[Translation]) {

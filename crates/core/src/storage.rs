@@ -8,6 +8,32 @@
 //! instead of testing `Option`s way by way, and an empty or singleton
 //! set is recognized without touching the entry plane at all.
 
+/// A set of way indices as a bitmask, yielded in ascending order.
+/// Returned by [`SetStorage::find_all`]; being `Copy` and detached from
+/// the storage, it stays valid across entry removal and insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WayMask(u64);
+
+impl Iterator for WayMask {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let w = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for WayMask {}
+
 /// Set-associative slots of entries `E` with LRU stamps and a validity
 /// bitmask plane (one `u64` per set, hence at most 64 ways).
 #[derive(Debug, Clone)]
@@ -82,18 +108,21 @@ impl<E> SetStorage<E> {
         None
     }
 
-    /// All ways in `set` whose entries satisfy `pred`.
-    pub(crate) fn find_all(&self, set: usize, mut pred: impl FnMut(&E) -> bool) -> Vec<usize> {
-        let mut out = Vec::new();
+    /// All ways in `set` whose entries satisfy `pred`, as a detached way
+    /// bitmask. The mask is `Copy`, so callers may mutate the storage
+    /// (remove, re-insert) while iterating — and nothing is allocated,
+    /// which keeps invalidation sweeps off the heap.
+    pub(crate) fn find_all(&self, set: usize, mut pred: impl FnMut(&E) -> bool) -> WayMask {
+        let mut out = 0u64;
         let mut mask = self.valid[set];
         while mask != 0 {
             let w = mask.trailing_zeros() as usize;
             mask &= mask - 1;
             if self.get(set, w).is_some_and(&mut pred) {
-                out.push(w);
+                out |= 1u64 << w;
             }
         }
-        out
+        WayMask(out)
     }
 
     /// Inserts into an empty way, or evicts the LRU way, marking the new
@@ -193,6 +222,7 @@ mod tests {
         s.insert_lru(0, 6);
         s.insert_lru(0, 5);
         assert_eq!(s.find_all(0, |&e| e == 5).len(), 2);
+        assert_eq!(s.find_all(0, |&e| e == 5).collect::<Vec<_>>(), [0, 2]);
         let w = s.find(0, |&e| e == 6).unwrap();
         assert_eq!(s.remove(0, w), Some(6));
         assert_eq!(s.find(0, |&e| e == 6), None);

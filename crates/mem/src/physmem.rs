@@ -271,7 +271,8 @@ impl PhysicalMemory {
         // buddy-aligned, so any block not larger than the window is either
         // fully inside or fully outside; a larger containing block means an
         // in-use superpage we will not split.
-        let mut inside: Vec<(u64, u8, FrameKind)> = Vec::new();
+        let block_count = self.allocated.range(window_start..window_end).count();
+        let mut inside: Vec<(u64, u8, FrameKind)> = Vec::with_capacity(block_count);
         for (&b, &(o, k)) in self.allocated.range(window_start..window_end) {
             if o > order {
                 return CompactionOutcome::Pinned;
@@ -296,7 +297,7 @@ impl PhysicalMemory {
         }
         // Phase 3: find new homes for the displaced blocks.
         let mut relocations = Vec::with_capacity(inside.len());
-        let mut placed: Vec<(u64, u8)> = Vec::new();
+        let mut placed: Vec<(u64, u8)> = Vec::with_capacity(inside.len());
         let mut failed = false;
         for &(old, o, k) in &inside {
             // Linux compaction's free scanner works from the top of the

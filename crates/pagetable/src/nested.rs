@@ -99,7 +99,7 @@ impl NestedWalker {
     ) -> NestedWalkResult {
         let vpn = gva.vpn();
         let mut pte_reads = Vec::with_capacity(24);
-        let mut pte_writes = Vec::new();
+        let mut pte_writes = Vec::with_capacity(4);
         let mut node = 0usize;
         for level in (0..=3u8).rev() {
             let idx = PageTable::index_at(vpn, level);
@@ -132,7 +132,7 @@ impl NestedWalker {
             };
             // The guest PTE read itself, at its system-physical address.
             pte_reads.push(PhysAddr::new(spa_pte.raw()));
-            let entry = guest.nodes()[node].entries[idx].clone();
+            let entry = guest.nodes()[node].entries[idx];
             match entry {
                 Entry::Empty => return Self::fault(pte_reads, pte_writes),
                 Entry::Table(child) => node = child,
@@ -245,7 +245,7 @@ impl NestedWalker {
         let line_start = idx & !7;
         let pages_per_entry = 1u64 << (9 * u64::from(level));
         let node_base = vpn.align_down_pages(pages_per_entry << 9);
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(8);
         for i in line_start..line_start + 8 {
             if let Entry::Leaf(leaf) = &guest.nodes()[node].entries[i] {
                 if let Some(gsize) = PageSize::from_level(level) {
@@ -267,6 +267,9 @@ impl NestedWalker {
         out
     }
 
+    /// Builds the nested-fault result. Faults leave the replay loop for
+    /// the OS fault handler, so this constructor is off the hot path.
+    #[cold]
     fn fault(pte_reads: Vec<PhysAddr>, pte_writes: Vec<PhysAddr>) -> NestedWalkResult {
         NestedWalkResult {
             translation: None,

@@ -86,7 +86,7 @@ pub(crate) struct LeafData {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum Entry {
     Empty,
     Table(usize),

@@ -40,22 +40,17 @@ impl Walker {
     pub fn walk(pt: &mut PageTable, va: VirtAddr, access: AccessKind) -> WalkResult {
         let vpn = va.vpn();
         let mut pte_reads = Vec::with_capacity(4);
-        let mut pte_writes = Vec::new();
+        let mut pte_writes = Vec::with_capacity(2);
         let mut node = 0usize;
         for level in (0..=3u8).rev() {
             let idx = PageTable::index_at(vpn, level);
             let node_pfn = pt.nodes()[node].pfn;
             let pte_addr = PhysAddr::pte_address(node_pfn, idx);
             pte_reads.push(pte_addr);
-            let entry = pt.nodes()[node].entries[idx].clone();
+            let entry = pt.nodes()[node].entries[idx];
             match entry {
                 Entry::Empty => {
-                    return WalkResult {
-                        translation: None,
-                        pte_reads,
-                        pte_writes,
-                        line_translations: Vec::new(),
-                    };
+                    return Self::fault(pte_reads, pte_writes);
                 }
                 Entry::Table(child) => {
                     node = child;
@@ -103,6 +98,18 @@ impl Walker {
             }
         }
         unreachable!("walk descended past level 0");
+    }
+
+    /// Builds the page-fault result. Faults leave the replay loop for the
+    /// OS fault handler, so this constructor is off the hot path.
+    #[cold]
+    fn fault(pte_reads: Vec<PhysAddr>, pte_writes: Vec<PhysAddr>) -> WalkResult {
+        WalkResult {
+            translation: None,
+            pte_reads,
+            pte_writes,
+            line_translations: Vec::new(),
+        }
     }
 
     /// Collects the leaf translations in the 8-PTE cache line around the

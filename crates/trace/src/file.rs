@@ -130,6 +130,17 @@ impl TraceFile {
     }
 }
 
+/// Error for a corrupt access-kind byte. `#[cold]`: corruption is not
+/// the replay loop's fast path, and isolating the `format!` here keeps
+/// formatting machinery out of the hot record decoder.
+#[cold]
+fn bad_access_kind(other: u8) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("invalid access kind {other}"),
+    )
+}
+
 impl Iterator for TraceFile {
     type Item = io::Result<TraceEvent>;
 
@@ -148,12 +159,7 @@ impl Iterator for TraceFile {
             0 => AccessKind::Load,
             1 => AccessKind::Store,
             2 => AccessKind::Fetch,
-            other => {
-                return Some(Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("invalid access kind {other}"),
-                )))
-            }
+            other => return Some(Err(bad_access_kind(other))),
         };
         Some(Ok(TraceEvent {
             pc,

@@ -152,6 +152,41 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+// Per-site corruption errors live in `#[cold]` constructors: malformed
+// input is not the replay loop's fast path, and isolating the `format!`
+// here keeps formatting machinery out of the hot decode functions.
+
+#[cold]
+fn bad_kind_code(code: u64) -> io::Error {
+    invalid(format!("invalid access kind code {code}"))
+}
+
+#[cold]
+fn bad_page_offset(off: u64) -> io::Error {
+    invalid(format!("page offset {off} exceeds a 4 KB page"))
+}
+
+#[cold]
+fn truncated(remaining: u64) -> io::Error {
+    invalid(format!(
+        "trace truncated: header promises {remaining} more events"
+    ))
+}
+
+#[cold]
+fn bad_block_count(count: u64, remaining: u64) -> io::Error {
+    invalid(format!(
+        "block event count {count} outside the {remaining} events remaining"
+    ))
+}
+
+#[cold]
+fn implausible_payload(payload_len: u64, count: u64) -> io::Error {
+    invalid(format!(
+        "block payload length {payload_len} implausible for {count} events"
+    ))
+}
+
 /// Two-bit wire code for an access kind.
 fn kind_code(kind: AccessKind) -> u64 {
     match kind {
@@ -167,7 +202,7 @@ fn code_kind(code: u64) -> io::Result<AccessKind> {
         0 => Ok(AccessKind::Load),
         1 => Ok(AccessKind::Store),
         2 => Ok(AccessKind::Fetch),
-        other => Err(invalid(format!("invalid access kind code {other}"))),
+        other => Err(bad_kind_code(other)),
     }
 }
 
@@ -195,7 +230,7 @@ fn decode_event(
     let off = meta >> 2;
     let kind = code_kind(meta & 0x3)?;
     if off >= PageSize::Size4K.bytes() {
-        return Err(invalid(format!("page offset {off} exceeds a 4 KB page")));
+        return Err(bad_page_offset(off));
     }
     let dpc = un_zigzag(read_varint_slice(buf, pos)?);
     let pc = prev_pc.wrapping_add(dpc as u64);
@@ -319,16 +354,10 @@ impl TraceFileV2 {
             if self.remaining == 0 {
                 return Ok(false);
             }
-            return Err(invalid(format!(
-                "trace truncated: header promises {} more events",
-                self.remaining
-            )));
+            return Err(truncated(self.remaining));
         };
         if count == 0 || count > self.remaining {
-            return Err(invalid(format!(
-                "block event count {count} outside the {} events remaining",
-                self.remaining
-            )));
+            return Err(bad_block_count(count, self.remaining));
         }
         let Some(payload_len) = read_varint_stream(&mut self.reader)? else {
             return Err(invalid("block header truncated before payload length"));
@@ -337,9 +366,7 @@ impl TraceFileV2 {
         // zigzag varints plus a 2-byte offset/kind word); a longer claim is
         // corruption, not a big block.
         if payload_len > count * 22 + 64 {
-            return Err(invalid(format!(
-                "block payload length {payload_len} implausible for {count} events"
-            )));
+            return Err(implausible_payload(payload_len, count));
         }
         let mut payload = vec![0u8; payload_len as usize];
         self.reader

@@ -16,12 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> mixtlb-check --lint (workspace lint gate)"
 cargo run --release -q -p mixtlb-check -- --lint
 
-echo "==> mixtlb-check --analyze (structural analysis gate)"
-# Zero non-baselined findings required; accepted findings live in the
-# committed check-baseline.json (refresh only via --update-baseline).
-# The whole front end runs in well under a second; the timeout is a
-# safety net, not a budget.
-timeout 30 cargo run --release -q -p mixtlb-check -- --analyze .
+echo "==> mixtlb-check --analyze (structural analysis gate, 9 rules)"
+# Zero non-baselined findings required across all nine rules — including
+# the interprocedural lockset-race, atomic-ordering, and hot-path
+# analyses; accepted findings live in the committed check-baseline.json
+# (refresh only via --update-baseline). --stats prints per-rule counts
+# and wall time into the CI log so drift is visible. The whole front end
+# runs in seconds; the timeout is a safety net, not a budget.
+timeout 60 cargo run --release -q -p mixtlb-check -- --analyze . --stats
 
 echo "==> mixtlb-check --model (time-boxed shootdown model check)"
 # Exhaustive 2-core exploration + seeded-bug self-check; the binary
