@@ -205,8 +205,9 @@ impl LockNames {
 
 /// Root functions by simple name: the batched translation entry points.
 const HOT_ROOT_NAMES: [&str; 2] = ["translate_batch", "lookup_batch"];
-/// Root functions by qualified name: the smp replay inner loop.
-const HOT_ROOT_QUALS: [&str; 2] = ["SmpCore::run", "SmpCore::step"];
+/// Root functions by qualified name: the smp replay inner loops — the
+/// per-core cadence loop and the work-stealing steal/execute loop.
+const HOT_ROOT_QUALS: [&str; 3] = ["SmpCore::run", "SmpCore::step", "WsWorker::run"];
 
 /// Callee names the downward walk does not enter. Name-based resolution
 /// links `Vec::new(…)`/`X::from(…)`/`….clone()` call tokens to every

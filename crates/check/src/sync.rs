@@ -201,6 +201,38 @@ pub mod instrumented {
             }
         }
 
+        /// Atomic fetch-sub (schedule point under an explorer). The
+        /// work-stealing deque's owner-side bottom reservation drives
+        /// this.
+        pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+            match current() {
+                Some(ctx) => {
+                    ctx.ctl.reach_point(ctx.tid, Op::AtomicRmw(self.id));
+                    self.inner.fetch_sub(value, Ordering::SeqCst)
+                }
+                None => self.inner.fetch_sub(value, order),
+            }
+        }
+
+        /// Atomic compare-exchange (schedule point under an explorer).
+        /// The work-stealing deque's steal claim drives this.
+        pub fn compare_exchange(
+            &self,
+            current_val: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            match current() {
+                Some(ctx) => {
+                    ctx.ctl.reach_point(ctx.tid, Op::AtomicRmw(self.id));
+                    self.inner
+                        .compare_exchange(current_val, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+                None => self.inner.compare_exchange(current_val, new, success, failure),
+            }
+        }
+
         /// Returns a mutable reference to the underlying value.
         pub fn get_mut(&mut self) -> &mut u64 {
             self.inner.get_mut()

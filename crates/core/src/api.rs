@@ -266,6 +266,26 @@ pub trait TlbDevice: Send {
         1
     }
 
+    /// Number of sets a *full flush* of this device must visit — every
+    /// set once. This is the ceiling a batched shootdown sweep saturates
+    /// at: once an epoch's accumulated per-page sweeps would exceed it,
+    /// the kernel flushes the whole device in one pass instead (the
+    /// `tlb_single_page_flush_ceiling` heuristic real kernels apply).
+    ///
+    /// The default derives the ceiling from [`TlbDevice::invalidate_sets`]
+    /// geometry: the widest single-page sweep already visits every set a
+    /// page of *some* size can reach. For MIX this is exact (a superpage
+    /// sweep is a full sweep by construction); for per-size split designs
+    /// it is a lower bound, which only *under*-prices their batched
+    /// flushes — conservative for the paper's MIX-vs-split comparison.
+    fn flush_sets(&self) -> u64 {
+        PageSize::ALL
+            .into_iter()
+            .map(|size| self.invalidate_sets(Vpn::new(0), size))
+            .max()
+            .unwrap_or(1)
+    }
+
     /// Total entry capacity of the device (0 when unknown). Used to derive
     /// hardware budgets instead of hard-coding them.
     fn capacity(&self) -> usize {

@@ -16,11 +16,18 @@ use std::process::ExitCode;
 
 use mixtlb_perf::{
     config_fingerprint, corpus_catalog, corpus_path, default_corpus_dir, file_fingerprint, gate,
-    gate_aggregate, load_events, prepare_scenario, replay_batched, replay_scalar, time_reps,
-    write_corpus_file, BenchRecord, BenchReport, CorpusFileInfo, CorpusWorkload, PATH_BATCHED,
-    PATH_SCALAR,
+    gate_aggregate, load_events, prepare_scenario, replay_batched, replay_scalar, replay_ws,
+    time_reps, write_corpus_file, BenchRecord, BenchReport, CorpusFileInfo, CorpusWorkload,
+    PATH_BATCHED, PATH_SCALAR, PATH_WS_BATCHED,
 };
 use mixtlb_sim::designs::all_cpu_designs;
+
+/// Worker threads of the ws-batched measurement. Pinned (not
+/// host-derived) so the recorded triple means the same thing on every
+/// runner; chunk size matches the bench binary's corpus replay.
+const WS_CORES: usize = 4;
+/// Events per stealable chunk of the ws-batched measurement.
+const WS_CHUNK_EVENTS: usize = 1024;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -180,16 +187,34 @@ fn measure(args: &[String]) -> ExitCode {
                 eprintln!("perfgate: zero reps requested");
                 return ExitCode::FAILURE;
             };
+            // The multi-core point: the same trace chunked over WS_CORES
+            // work-stealing workers, each on its own engine's batched path.
+            let ws_pt = scenario.clone_page_table();
+            let Some(ws_timing) = time_reps(plan.warmup, plan.reps, || {
+                replay_ws(factory, &ws_pt, &events, WS_CORES, WS_CHUNK_EVENTS)
+            }) else {
+                eprintln!("perfgate: zero reps requested");
+                return ExitCode::FAILURE;
+            };
+            let ws = BenchRecord::new(
+                design,
+                w.name,
+                PATH_WS_BATCHED,
+                events.len() as u64,
+                ws_timing,
+            );
             let speedup = scalar.median_ns / batched.median_ns.max(1e-9);
             println!(
-                "  {design:<12} scalar {:>8.2} ns/tr  batched {:>8.2} ns/tr  ({speedup:.1}x)",
-                scalar.median_ns, batched.median_ns
+                "  {design:<12} scalar {:>8.2} ns/tr  batched {:>8.2} ns/tr  ({speedup:.1}x)  \
+                 ws×{WS_CORES} {:>8.2} ns/tr",
+                scalar.median_ns, batched.median_ns, ws.median_ns
             );
             if best_speedup.as_ref().is_none_or(|(s, _, _)| speedup > *s) {
                 best_speedup = Some((speedup, design.to_owned(), w.name.to_owned()));
             }
             report.records.push(scalar);
             report.records.push(batched);
+            report.records.push(ws);
         }
     }
 

@@ -71,6 +71,25 @@ pub fn replay_batched(hierarchy: TlbHierarchy, pt: &mut PageTable, events: &[Tra
     per_access_ns(start.elapsed().as_nanos(), out.len())
 }
 
+/// One timed work-stealing multi-core replay: the trace is chunked over
+/// `cores` worker threads with Chase–Lev deques
+/// ([`mixtlb_smp::replay_parallel`]), each worker driving its own
+/// engine's batched path over the chunks it wins. Returns *aggregate* ns
+/// per translation — wall-clock over all events — so the record is
+/// directly comparable to the single-core paths: smaller means the
+/// multi-core replay is faster end to end.
+pub fn replay_ws(
+    factory: fn() -> TlbHierarchy,
+    pt: &PageTable,
+    events: &[TraceEvent],
+    cores: usize,
+    chunk_events: usize,
+) -> f64 {
+    let cfg = mixtlb_smp::WsConfig::new(cores, chunk_events);
+    let report = mixtlb_smp::replay_parallel(events, pt, factory, &cfg);
+    per_access_ns(report.elapsed.as_nanos(), events.len())
+}
+
 fn per_access_ns(elapsed_ns: u128, accesses: usize) -> f64 {
     if accesses == 0 {
         0.0

@@ -31,8 +31,8 @@ pub use corpus::{
     file_fingerprint, generate_events, load_events, prepare_scenario, write_corpus_file,
     CorpusWorkload,
 };
-pub use harness::{replay_batched, replay_scalar, time_reps, Timing};
+pub use harness::{replay_batched, replay_scalar, replay_ws, time_reps, Timing};
 pub use report::{
     gate, gate_aggregate, BenchRecord, BenchReport, CorpusFileInfo, GateOutcome, BASELINE_DESIGN,
-    PATH_BATCHED, PATH_SCALAR,
+    PATH_BATCHED, PATH_SCALAR, PATH_WS_BATCHED,
 };

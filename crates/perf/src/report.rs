@@ -25,6 +25,33 @@ use crate::harness::Timing;
 pub const PATH_SCALAR: &str = "scalar";
 /// The batched counterpart of [`PATH_SCALAR`].
 pub const PATH_BATCHED: &str = "batched";
+/// The work-stealing multi-core replay: the trace chunked over worker
+/// threads, each driving its own engine's batched path
+/// ([`crate::replay_ws`]). Records aggregate wall-clock ns per
+/// translation across the whole machine.
+pub const PATH_WS_BATCHED: &str = "ws-batched";
+
+/// Every path the aggregate gate covers, with a noise factor scaling the
+/// caller's tolerance for that path. Paths absent from one of the two
+/// reports contribute no comparable triples and are skipped, so adding a
+/// new path here keeps the first report that carries it gating green
+/// against older baselines.
+///
+/// The single-thread paths gate at the caller's tolerance unchanged. The
+/// ws-batched path runs several OS threads that time-slice over however
+/// many CPUs the runner exposes (a 1-CPU container oversubscribes 4:1),
+/// so its aggregate wall-clock carries scheduler noise the single-thread
+/// loops don't — back-to-back quick measures on a shared 1-CPU runner
+/// swing the path geomean by up to ~1.7x with no code change (measured).
+/// The 1.5x factor absorbs that while still tripping on a whole-path
+/// collapse (>2.5x at the wide shared-runner default of 40%); the factor
+/// scales with the caller's tolerance, so a quiet dedicated runner at
+/// 10% gates ws-batched at a tight 15%.
+const GATED_PATHS: [(&str, f64); 3] = [
+    (PATH_SCALAR, 1.0),
+    (PATH_BATCHED, 1.0),
+    (PATH_WS_BATCHED, 1.5),
+];
 
 /// The design whose scalar path anchors normalization.
 pub const BASELINE_DESIGN: &str = "split";
@@ -303,7 +330,8 @@ pub fn gate_aggregate(prev: &BenchReport, curr: &BenchReport, tolerance: f64) ->
         compared: 0,
         failures: Vec::new(),
     };
-    for path in [PATH_SCALAR, PATH_BATCHED] {
+    for (path, noise) in GATED_PATHS {
+        let path_tolerance = (tolerance * noise).min(0.95);
         let mut log_sum = 0.0f64;
         let mut n = 0usize;
         for r in &curr.records {
@@ -333,12 +361,12 @@ pub fn gate_aggregate(prev: &BenchReport, curr: &BenchReport, tolerance: f64) ->
         out.compared += n;
         let ratio = (log_sum / n as f64).exp();
         let drop = 1.0 - ratio;
-        if drop > tolerance {
+        if drop > path_tolerance {
             out.failures.push(format!(
                 "{path}: geomean normalized throughput over {n} triples fell {:.1}% \
                  (ratio {ratio:.3}, tolerance {:.0}%)",
                 drop * 100.0,
-                tolerance * 100.0
+                path_tolerance * 100.0
             ));
         }
     }
@@ -452,6 +480,43 @@ mod tests {
         assert!(!gate(&prev, &curr, 0.40).passed());
         let agg = gate_aggregate(&prev, &curr, 0.10);
         assert!(agg.passed(), "{:?}", agg.failures);
+    }
+
+    /// A report introducing a brand-new path (the multi-core ws-batched
+    /// point) must gate green against a baseline that predates the path:
+    /// no comparable triples exist, so neither gate may fail on them —
+    /// but both must still compare the shared paths.
+    #[test]
+    fn new_path_gates_green_against_an_older_baseline() {
+        let prev = wide_report();
+        let mut curr = prev.clone();
+        for wl in ["gups", "streamcluster"] {
+            curr.records.push(record("mix", wl, PATH_WS_BATCHED, 4.0));
+            curr.records.push(record("split", wl, PATH_WS_BATCHED, 5.0));
+        }
+        let per_triple = gate(&prev, &curr, 0.10);
+        assert!(per_triple.passed(), "{:?}", per_triple.failures);
+        let agg = gate_aggregate(&prev, &curr, 0.10);
+        assert!(agg.passed(), "{:?}", agg.failures);
+        // Once the path exists on both sides, it is gated like any other
+        // — modulo the path's 1.5x scheduler-noise factor, so a 2x
+        // whole-path regression (50% drop) trips at a base tolerance of
+        // 25% (effective 37.5%) but is absorbed at the 40% shared-runner
+        // default (effective 60%).
+        let mut regressed = curr.clone();
+        for r in &mut regressed.records {
+            if r.path == PATH_WS_BATCHED {
+                r.median_ns *= 2.0;
+            }
+        }
+        assert!(gate_aggregate(&curr, &regressed, 0.40).passed());
+        let tripped = gate_aggregate(&curr, &regressed, 0.25);
+        assert!(!tripped.passed());
+        assert!(
+            tripped.failures[0].starts_with("ws-batched:"),
+            "{:?}",
+            tripped.failures
+        );
     }
 
     #[test]

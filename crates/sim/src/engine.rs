@@ -97,6 +97,12 @@ impl TlbHierarchy {
             + self.l2.as_ref().map_or(0, |t| t.invalidate_sets(vpn, size))
     }
 
+    /// Sets a full flush of both levels must visit — the saturation point
+    /// of a batched shootdown sweep (see [`mixtlb_core::TlbDevice::flush_sets`]).
+    pub fn flush_sets(&self) -> u64 {
+        self.l1.flush_sets() + self.l2.as_ref().map_or(0, |t| t.flush_sets())
+    }
+
     /// Whether every level honours ASID tags — only then can a context
     /// switch skip the flush (x86 PCID semantics).
     pub fn supports_asids(&self) -> bool {

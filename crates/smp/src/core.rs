@@ -12,7 +12,7 @@ use mixtlb_sim::TlbHierarchy;
 use mixtlb_trace::{TraceEvent, TraceGenerator};
 use mixtlb_types::{Asid, PhysAddr, Pfn, Vpn};
 
-use crate::shootdown::SweepWidths;
+use crate::shootdown::{ShootdownModel, SweepWidths};
 
 /// Counters of one core's replay.
 ///
@@ -51,6 +51,36 @@ pub struct CoreStats {
     /// Machine-wide TLB sets swept per shootdown this core initiated
     /// (own + every remote) — the paper's Sec. 5.1 mirrored-sweep cost.
     pub sets_swept_global: u64,
+    /// Invalidation epochs this core closed (epoch-batched shootdown
+    /// model; 0 when epochs are disabled).
+    pub epochs_closed: u64,
+    /// Cycles the *epoch-batched* model charges this core as initiator
+    /// for the same invalidations `shootdown_cycles_initiated` prices
+    /// eagerly: one IPI round per closed epoch, sweeps capped at the
+    /// full-flush ceiling. Accumulated side by side with the eager
+    /// counters in the same replay, so the two models are directly
+    /// comparable on one run.
+    pub shootdown_cycles_epoch: u64,
+    /// Machine-wide TLB sets swept under the epoch-batched model for
+    /// epochs this core closed (eager counterpart: `sets_swept_global`).
+    pub sets_swept_global_epoch: u64,
+}
+
+/// What one core must know about one *remote* core to charge shootdown
+/// costs without inspecting its state: precomputed eager per-size costs,
+/// and the geometry (sweep widths, full-flush ceiling) the epoch-batched
+/// model prices at epoch close.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RemoteTables {
+    /// The remote core's index (into the absorbed-cost ledgers).
+    pub core: usize,
+    /// Cycles the remote absorbs for one eager shootdown, by size code.
+    pub eager_cycles_by_size: [u64; 3],
+    /// The remote's sweep width by size code (sets per invalidated page).
+    pub sweep_by_size: [u64; 3],
+    /// The remote's full-flush ceiling: sets one whole-device flush
+    /// visits, which caps a batched epoch sweep.
+    pub flush_sets: u64,
 }
 
 /// Cost tables a core needs to charge shootdowns without touching any
@@ -62,8 +92,34 @@ pub(crate) struct ShootdownTables {
     pub initiated_cost_by_size: [u64; 3],
     /// Machine-wide sets swept, by page-size code.
     pub global_sets_by_size: [u64; 3],
-    /// Per remote core: `(core index, absorbed cycles by size code)`.
-    pub remote_contrib: Vec<(usize, [u64; 3])>,
+    /// This core's own full-flush ceiling (see [`RemoteTables::flush_sets`]).
+    pub own_flush_sets: u64,
+    /// The cycle-cost model, for pricing epoch closes whose sweep extents
+    /// depend on run-time pending counts and cannot be precomputed.
+    pub model: ShootdownModel,
+    /// Per remote core, in a fixed order.
+    pub remotes: Vec<RemoteTables>,
+}
+
+/// The machine's absorbed-shootdown-cost ledgers, one counter per core
+/// per pricing model. Workers publish remote costs here with commutative
+/// atomic adds, so totals are interleaving-independent.
+#[derive(Debug, Default)]
+pub(crate) struct AbsorbedLedger {
+    /// Cycles absorbed under the eager per-shootdown IPI model.
+    pub eager: Vec<AtomicU64>,
+    /// Cycles absorbed under the epoch-batched model, for the same
+    /// invalidations.
+    pub epoch: Vec<AtomicU64>,
+}
+
+impl AbsorbedLedger {
+    pub fn with_cores(n: usize) -> AbsorbedLedger {
+        AbsorbedLedger {
+            eager: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            epoch: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
 }
 
 /// One core of an [`crate::SmpMachine`].
@@ -80,6 +136,12 @@ pub struct SmpCore {
     /// Initiate a shootdown every this many accesses (0 = never).
     shootdown_interval: u64,
     shootdown_count: u64,
+    /// Close an invalidation epoch every this many accesses (0 = never).
+    /// A trailing partial epoch is closed at the end of the run, so over
+    /// one run both pricing models cover the same invalidations.
+    epoch_interval: u64,
+    /// Invalidations accumulated in the open epoch, by page-size code.
+    pending_invalidations: [u64; 3],
     pub(crate) sweep: SweepWidths,
     pub(crate) tables: ShootdownTables,
     l2_hit_cycles: u64,
@@ -110,7 +172,12 @@ impl SmpCore {
     ) -> SmpCore {
         SmpCore {
             id,
-            asid: Asid::new(id as u16 + 1),
+            // Wrapping index→tag mapping: core ids are unbounded, hardware
+            // tags are 12-bit. `Asid::new(id as u16 + 1)` panicked at id
+            // 4095 and silently truncated ids ≥ 65536; wrapped collisions
+            // are harmless here because each core's TLBs are private and
+            // run exactly one space.
+            asid: Asid::for_index(id),
             hierarchy,
             caches: CacheHierarchy::new(HierarchyConfig::haswell_private()),
             pwc: PageWalkCache::new(32),
@@ -120,6 +187,8 @@ impl SmpCore {
             footprint_pages: footprint_pages.max(1),
             shootdown_interval: 0,
             shootdown_count: 0,
+            epoch_interval: 0,
+            pending_invalidations: [0; 3],
             sweep: SweepWidths::default(),
             tables: ShootdownTables::default(),
             l2_hit_cycles: 7,
@@ -131,6 +200,16 @@ impl SmpCore {
     /// `interval` accesses (0 disables).
     pub fn with_shootdown_interval(mut self, interval: u64) -> SmpCore {
         self.shootdown_interval = interval;
+        self
+    }
+
+    /// Sets the epoch cadence: the epoch-batched pricing model closes an
+    /// invalidation epoch every `interval` accesses (0 disables epoch
+    /// accounting entirely). Epoch closes are a pure function of the
+    /// core's own access count, so they preserve serial/parallel
+    /// determinism.
+    pub fn with_epoch_interval(mut self, interval: u64) -> SmpCore {
+        self.epoch_interval = interval;
         self
     }
 
@@ -166,9 +245,12 @@ impl SmpCore {
 
     /// Replays `refs` events, initiating shootdowns on the configured
     /// cadence. Remote shootdown costs are published into `absorbed`
-    /// (one counter per core) — the only cross-core communication, and a
-    /// commutative sum, so totals are interleaving-independent.
-    pub(crate) fn run(&mut self, refs: u64, llc: &SharedCache, absorbed: &[AtomicU64]) {
+    /// (one counter per core per pricing model) — the only cross-core
+    /// communication, and a commutative sum, so totals are
+    /// interleaving-independent. When an epoch cadence is configured, a
+    /// trailing partial epoch is closed before returning, so the eager
+    /// and epoch-batched ledgers cover the same invalidations.
+    pub(crate) fn run(&mut self, refs: u64, llc: &SharedCache, absorbed: &AbsorbedLedger) {
         for _ in 0..refs {
             // lint: allow(panic) — trace generators are infinite iterators
             let ev = self.generator.next().expect("generator is infinite");
@@ -177,6 +259,12 @@ impl SmpCore {
             {
                 self.initiate_shootdown(absorbed);
             }
+            if self.epoch_interval > 0 && self.stats.accesses.is_multiple_of(self.epoch_interval) {
+                self.close_epoch(absorbed);
+            }
+        }
+        if self.epoch_interval > 0 {
+            self.close_epoch(absorbed);
         }
     }
 
@@ -291,8 +379,10 @@ impl SmpCore {
 
     /// Initiates one shootdown: deterministically pick a mapped page of
     /// this core's footprint, migrate it to a new frame, invalidate the
-    /// local TLBs, and charge the machine-wide cost.
-    pub(crate) fn initiate_shootdown(&mut self, absorbed: &[AtomicU64]) {
+    /// local TLBs, and charge the machine-wide cost under the eager
+    /// model. The invalidation is also appended to the open epoch, so
+    /// the batched model prices the same event at the next epoch close.
+    pub(crate) fn initiate_shootdown(&mut self, absorbed: &AbsorbedLedger) {
         self.shootdown_count += 1;
         // Weyl-style scramble: deterministic, spreads over the footprint.
         let idx = self
@@ -314,14 +404,53 @@ impl SmpCore {
         self.stats.sets_swept_local += self.sweep.by_size[code];
         self.stats.sets_swept_global += self.tables.global_sets_by_size[code];
         self.stats.shootdown_cycles_initiated += self.tables.initiated_cost_by_size[code];
-        for (remote, contrib) in &self.tables.remote_contrib {
+        self.pending_invalidations[code] += 1;
+        for remote in &self.tables.remotes {
             // lint: allow(relaxed-ordering) — commutative cost tally into
             // another core's absorbed counter. Nothing reads these during
             // replay; reports load them after `thread::scope` joins, which
             // already orders every increment. Only atomicity is needed,
             // and Relaxed keeps the hot replay loop free of fences.
-            absorbed[*remote].fetch_add(contrib[code], Ordering::Relaxed);
+            absorbed.eager[remote.core].fetch_add(remote.eager_cycles_by_size[code], Ordering::Relaxed);
         }
+    }
+
+    /// Closes the open invalidation epoch under the batched pricing
+    /// model: one IPI round for every invalidation accumulated since the
+    /// last close, each core's sweep capped at its full-flush ceiling
+    /// ([`ShootdownModel::batched_sweep_sets`]). A close with nothing
+    /// pending is free — no IPI round is sent, mirroring a kernel that
+    /// skips quiescent epochs. Pure function of this core's own stream
+    /// plus precomputed remote geometry, so serial/parallel determinism
+    /// is preserved.
+    pub(crate) fn close_epoch(&mut self, absorbed: &AbsorbedLedger) {
+        if self.pending_invalidations == [0; 3] {
+            return;
+        }
+        let model = self.tables.model;
+        let own_pending: u64 = (0..3)
+            .map(|code| self.pending_invalidations[code] * self.sweep.by_size[code])
+            .sum();
+        let own_swept = ShootdownModel::batched_sweep_sets(own_pending, self.tables.own_flush_sets);
+        let mut global_swept = own_swept;
+        let mut cost = model.initiator_cycles + own_swept * model.per_set_cycles;
+        for remote in &self.tables.remotes {
+            let pending_sets: u64 = (0..3)
+                .map(|code| self.pending_invalidations[code] * remote.sweep_by_size[code])
+                .sum();
+            let swept = ShootdownModel::batched_sweep_sets(pending_sets, remote.flush_sets);
+            let remote_cycles = model.remote_cost(swept);
+            global_swept += swept;
+            cost += remote_cycles;
+            // lint: allow(relaxed-ordering) — same commutative tally as the
+            // eager ledger above: written during replay, read only after
+            // the join edge of `thread::scope` orders every increment.
+            absorbed.epoch[remote.core].fetch_add(remote_cycles, Ordering::Relaxed);
+        }
+        self.stats.epochs_closed += 1;
+        self.stats.shootdown_cycles_epoch += cost;
+        self.stats.sets_swept_global_epoch += global_swept;
+        self.pending_invalidations = [0; 3];
     }
 
     /// Sweeps the local TLBs and MMU caches for a shootdown of

@@ -47,11 +47,17 @@
 #![warn(missing_docs)]
 
 mod core;
+mod deque;
 mod machine;
 mod scenario;
 mod shootdown;
+mod stress;
+mod ws;
 
 pub use crate::core::{CoreStats, SmpCore};
+pub use deque::ChunkDeque;
 pub use machine::{CoreReport, SmpMachine, SmpReport};
 pub use scenario::{MultiProgrammedScenario, SmpScenarioConfig};
 pub use shootdown::{ShootdownModel, SweepWidths};
+pub use stress::{run_asid_stress, StressConfig, StressCoreStats, StressReport};
+pub use ws::{replay_parallel, replay_scheduled, StealSchedule, WsConfig, WsCoreReport, WsReport};

@@ -4,7 +4,7 @@
 // Atomics come from mixtlb-check's facade: plain `std::sync::atomic`
 // re-exports in production, instrumented schedule-point wrappers under the
 // `model` feature (see crates/check).
-use mixtlb_check::sync::{AtomicU64, Ordering};
+use mixtlb_check::sync::Ordering;
 use std::time::{Duration, Instant};
 
 use mixtlb_cache::{SharedCache, SharedCacheConfig, SharedCacheStats};
@@ -12,7 +12,7 @@ use mixtlb_core::TlbStats;
 use mixtlb_trace::TraceEvent;
 use mixtlb_types::{Asid, PageSize, PhysAddr, Pfn, Vpn};
 
-use crate::core::{CoreStats, ShootdownTables, SmpCore};
+use crate::core::{AbsorbedLedger, CoreStats, RemoteTables, ShootdownTables, SmpCore};
 use crate::shootdown::{ShootdownModel, SweepWidths};
 
 /// An N-core machine sharing one LLC.
@@ -30,9 +30,9 @@ pub struct SmpMachine {
     llc: SharedCache,
     model: ShootdownModel,
     /// Shootdown cycles absorbed by each core from *other* cores'
-    /// shootdowns. Atomic adds are commutative, so the totals are
-    /// independent of thread interleaving.
-    absorbed: Vec<AtomicU64>,
+    /// shootdowns, under both pricing models. Atomic adds are
+    /// commutative, so the totals are independent of thread interleaving.
+    absorbed: AbsorbedLedger,
 }
 
 /// One core's slice of an [`SmpReport`].
@@ -49,8 +49,12 @@ pub struct CoreReport {
     /// L2 TLB statistics, if the design has an L2.
     pub l2: Option<TlbStats>,
     /// Shootdown cycles this core absorbed on behalf of other cores'
-    /// shootdowns (IPI + its own sweep).
+    /// shootdowns (IPI + its own sweep), under the eager per-shootdown
+    /// model.
     pub shootdown_cycles_absorbed: u64,
+    /// Shootdown cycles this core absorbed under the epoch-batched model
+    /// for the same invalidations (0 when epochs are disabled).
+    pub shootdown_cycles_absorbed_epoch: u64,
 }
 
 impl CoreReport {
@@ -105,6 +109,38 @@ impl SmpReport {
         self.cores.iter().map(|c| c.stats.shootdowns_initiated).sum()
     }
 
+    /// Total shootdown cycles under the epoch-batched model
+    /// (initiated + absorbed) — the batched counterpart of
+    /// [`SmpReport::total_shootdown_cycles`], over the same
+    /// invalidations of the same run.
+    pub fn total_shootdown_cycles_epoch(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.stats.shootdown_cycles_epoch + c.shootdown_cycles_absorbed_epoch)
+            .sum()
+    }
+
+    /// Total invalidation epochs closed across the machine.
+    pub fn total_epochs_closed(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.epochs_closed).sum()
+    }
+
+    /// Machine-wide sets swept under the epoch-batched model.
+    pub fn total_sets_swept_epoch(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.sets_swept_global_epoch).sum()
+    }
+
+    /// Cycles the epoch-batched model saves over eager shootdowns, as a
+    /// percentage of the eager total (0 when nothing was priced).
+    pub fn epoch_savings_pct(&self) -> f64 {
+        let eager = self.total_shootdown_cycles();
+        if eager == 0 {
+            return 0.0;
+        }
+        let epoch = self.total_shootdown_cycles_epoch();
+        (eager.saturating_sub(epoch)) as f64 * 100.0 / eager as f64
+    }
+
     /// Mean machine-wide sets swept per shootdown, across all cores.
     pub fn sets_per_shootdown(&self) -> f64 {
         let shots = self.total_shootdowns();
@@ -139,10 +175,17 @@ impl SmpMachine {
                 w
             })
             .collect();
+        // Full-flush ceilings per core: what one whole-hierarchy flush
+        // costs in set visits, which caps a batched epoch sweep.
+        let flush_ceilings: Vec<u64> = cores.iter().map(|c| c.hierarchy.flush_sets()).collect();
         let n = cores.len();
         for (i, core) in cores.iter_mut().enumerate() {
             core.sweep = widths[i];
-            let mut tables = ShootdownTables::default();
+            let mut tables = ShootdownTables {
+                own_flush_sets: flush_ceilings[i],
+                model,
+                ..ShootdownTables::default()
+            };
             for size in PageSize::ALL {
                 let code = size.encode() as usize;
                 let own = widths[i].for_size(size);
@@ -153,25 +196,29 @@ impl SmpMachine {
                 tables.initiated_cost_by_size[code] = model.initiator_cost(own, &remote_sets);
                 tables.global_sets_by_size[code] = own + remote_sets.iter().sum::<u64>();
             }
-            tables.remote_contrib = (0..n)
+            tables.remotes = (0..n)
                 .filter(|&j| j != i)
                 .map(|j| {
-                    let mut by_size = [0u64; 3];
+                    let mut eager = [0u64; 3];
                     for size in PageSize::ALL {
                         let code = size.encode() as usize;
-                        by_size[code] = model.remote_cost(widths[j].by_size[code]);
+                        eager[code] = model.remote_cost(widths[j].by_size[code]);
                     }
-                    (j, by_size)
+                    RemoteTables {
+                        core: j,
+                        eager_cycles_by_size: eager,
+                        sweep_by_size: widths[j].by_size,
+                        flush_sets: flush_ceilings[j],
+                    }
                 })
                 .collect();
             core.tables = tables;
         }
-        let absorbed = (0..n).map(|_| AtomicU64::new(0)).collect();
         SmpMachine {
             cores,
             llc: SharedCache::new(llc_config),
             model,
-            absorbed,
+            absorbed: AbsorbedLedger::with_cores(n),
         }
     }
 
@@ -238,7 +285,9 @@ impl SmpMachine {
                 // while the machine is quiesced: `report` runs after
                 // `thread::scope` joined every worker, and the join edge
                 // orders all absorbed-counter increments before this load.
-                shootdown_cycles_absorbed: self.absorbed[i].load(Ordering::Relaxed),
+                shootdown_cycles_absorbed: self.absorbed.eager[i].load(Ordering::Relaxed),
+                // lint: allow(relaxed-ordering) — same quiesced read as above.
+                shootdown_cycles_absorbed_epoch: self.absorbed.epoch[i].load(Ordering::Relaxed),
             })
             .collect();
         SmpReport {
@@ -286,16 +335,16 @@ impl SmpMachine {
         let initiated = tables.initiated_cost_by_size[code];
         let global_sets = tables.global_sets_by_size[code];
         let contribs: Vec<(usize, u64)> = tables
-            .remote_contrib
+            .remotes
             .iter()
-            .map(|(j, by_size)| (*j, by_size[code]))
+            .map(|r| (r.core, r.eager_cycles_by_size[code]))
             .collect();
         for (j, cycles) in contribs {
             // lint: allow(relaxed-ordering) — commutative cost tally: adds
             // from different initiators never race with a decision-making
             // read (reports load after join), so only atomicity matters
             // and the totals are interleaving-independent by construction.
-            self.absorbed[j].fetch_add(cycles, Ordering::Relaxed);
+            self.absorbed.eager[j].fetch_add(cycles, Ordering::Relaxed);
         }
         let stats = self.cores[initiator].stats_mut();
         stats.shootdowns_initiated += 1;

@@ -34,6 +34,11 @@ pub struct SmpScenarioConfig {
     /// Initiate one shootdown every this many accesses per core
     /// (0 = never). Models migration/compaction churn.
     pub shootdown_interval: u64,
+    /// Close one invalidation epoch every this many accesses per core
+    /// (0 = no epoch accounting). The epoch-batched shootdown model is
+    /// priced side by side with the eager model over the same run; this
+    /// sets how many eager shootdowns one batched IPI round absorbs.
+    pub epoch_interval: u64,
 }
 
 impl SmpScenarioConfig {
@@ -44,6 +49,7 @@ impl SmpScenarioConfig {
             per_core_cap: Some(64 << 20),
             seed: 42,
             shootdown_interval: 0,
+            epoch_interval: 0,
         }
     }
 
@@ -54,12 +60,22 @@ impl SmpScenarioConfig {
             per_core_cap: None,
             seed: 42,
             shootdown_interval: 10_000,
+            // Five eager shootdowns batched per epoch at the default
+            // cadence — churny enough that the full-flush ceiling bites
+            // on every-set-sweep designs.
+            epoch_interval: 50_000,
         }
     }
 
     /// Sets the shootdown cadence.
     pub fn with_shootdown_interval(mut self, interval: u64) -> SmpScenarioConfig {
         self.shootdown_interval = interval;
+        self
+    }
+
+    /// Sets the epoch cadence (0 disables epoch accounting).
+    pub fn with_epoch_interval(mut self, interval: u64) -> SmpScenarioConfig {
+        self.epoch_interval = interval;
         self
     }
 
@@ -166,6 +182,18 @@ impl MultiProgrammedScenario {
         self.region
     }
 
+    /// A clone of core `index`'s faulted page table — what the
+    /// work-stealing replay drivers hand to each worker.
+    pub fn clone_page_table(&self, index: usize) -> mixtlb_pagetable::PageTable {
+        self.kernel.space(self.spaces[index]).page_table().clone()
+    }
+
+    /// Core `index`'s trace generator, seeded exactly as
+    /// [`MultiProgrammedScenario::build_machine`] seeds it.
+    pub fn generator(&self, index: usize) -> TraceGenerator {
+        TraceGenerator::new(&self.specs[index], core_seed(self.cfg.seed, index), self.region)
+    }
+
     /// Builds an [`SmpMachine`] whose cores all run `factory`'s TLB
     /// design. Each core gets a clone of its space's faulted page table,
     /// so machines for different designs replay identical system state.
@@ -186,6 +214,7 @@ impl MultiProgrammedScenario {
                     TraceGenerator::new(spec, core_seed(self.cfg.seed, i), self.region);
                 SmpCore::new(i, factory(), pt, generator, self.region, spec.footprint_pages())
                     .with_shootdown_interval(self.cfg.shootdown_interval)
+                    .with_epoch_interval(self.cfg.epoch_interval)
             })
             .collect();
         SmpMachine::new(cores, llc, model)

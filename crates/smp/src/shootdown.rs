@@ -55,6 +55,24 @@ impl ShootdownModel {
             + own_sets * self.per_set_cycles
             + remote_sets.iter().map(|&s| self.remote_cost(s)).sum::<u64>()
     }
+
+    /// Sets one core actually sweeps when an epoch's accumulated per-page
+    /// invalidations are batched into a single round: the per-page sweeps
+    /// (`pending_sets`) until they would exceed the cost of visiting every
+    /// set once, then one full flush (`flush_sets`). This is the
+    /// `tlb_single_page_flush_ceiling` heuristic real kernels apply, and
+    /// it is what rescues the MIX design under shootdown churn — its
+    /// mirrored every-set sweeps saturate at one full sweep per epoch
+    /// instead of paying a full sweep per page.
+    pub fn batched_sweep_sets(pending_sets: u64, flush_sets: u64) -> u64 {
+        pending_sets.min(flush_sets)
+    }
+
+    /// Cost absorbed by one *remote* core in a batched epoch round: one
+    /// IPI for the whole epoch, plus the ceiling-capped sweep.
+    pub fn batched_remote_cost(&self, pending_sets: u64, flush_sets: u64) -> u64 {
+        self.remote_cost(ShootdownModel::batched_sweep_sets(pending_sets, flush_sets))
+    }
 }
 
 /// Per-design sweep widths, precomputed per page size so worker threads
@@ -87,6 +105,25 @@ mod tests {
         assert_eq!(m.remote_cost(80), 10 + 160);
         // Initiator sweeps 80 sets itself and waits for two remotes.
         assert_eq!(m.initiator_cost(80, &[80, 1]), 100 + 160 + 170 + 12);
+    }
+
+    #[test]
+    fn batched_sweep_saturates_at_the_full_flush_ceiling() {
+        let m = ShootdownModel {
+            initiator_cycles: 100,
+            remote_ipi_cycles: 10,
+            per_set_cycles: 2,
+        };
+        // Below the ceiling, per-page sweeps are paid as accumulated.
+        assert_eq!(ShootdownModel::batched_sweep_sets(3, 80), 3);
+        assert_eq!(m.batched_remote_cost(3, 80), 10 + 6);
+        // Above it, the epoch degenerates into one full flush: a MIX-style
+        // every-set sweep (80 sets/page) never pays more than 80 total.
+        assert_eq!(ShootdownModel::batched_sweep_sets(5 * 80, 80), 80);
+        assert_eq!(m.batched_remote_cost(5 * 80, 80), 10 + 160);
+        // The batched round is never dearer than the eager rounds it
+        // replaces: one IPI instead of five, capped sweep instead of five.
+        assert!(m.batched_remote_cost(5 * 80, 80) <= 5 * m.remote_cost(80));
     }
 
     #[test]

@@ -16,6 +16,9 @@ fn small_cfg(shootdown_interval: u64) -> SmpScenarioConfig {
         per_core_cap: Some(8 << 20),
         seed: 42,
         shootdown_interval,
+        // Batch a handful of eager shootdowns per epoch so the epoch
+        // counters are exercised by the determinism comparison too.
+        epoch_interval: if shootdown_interval > 0 { shootdown_interval * 4 } else { 0 },
     }
 }
 
@@ -56,6 +59,11 @@ fn assert_bit_identical(factory: fn() -> TlbHierarchy, shootdown_interval: u64) 
             "core {} absorbed shootdown cycles diverged",
             p.id
         );
+        assert_eq!(
+            p.shootdown_cycles_absorbed_epoch, s.shootdown_cycles_absorbed_epoch,
+            "core {} absorbed epoch-batched cycles diverged",
+            p.id
+        );
         // The replay actually did work.
         assert_eq!(p.stats.accesses, 20_000);
         assert!(p.l1.lookups >= 20_000);
@@ -63,6 +71,15 @@ fn assert_bit_identical(factory: fn() -> TlbHierarchy, shootdown_interval: u64) 
     if shootdown_interval > 0 {
         assert!(par.total_shootdowns() > 0, "cadence should fire shootdowns");
         assert!(par.total_shootdown_cycles() > 0);
+        // Epoch batching priced the same invalidations in the same run,
+        // and batching can only help: one IPI round per epoch instead of
+        // one per shootdown, sweeps capped at the full-flush ceiling.
+        assert!(par.total_epochs_closed() > 0, "epoch cadence never closed");
+        assert!(par.total_shootdown_cycles_epoch() > 0);
+        assert!(
+            par.total_shootdown_cycles_epoch() <= par.total_shootdown_cycles(),
+            "epoch batching must not cost more than eager shootdowns"
+        );
     }
 }
 

@@ -21,6 +21,7 @@ fn cfg(seed: u64) -> SmpScenarioConfig {
         per_core_cap: Some(8 << 20),
         seed,
         shootdown_interval: 0,
+        epoch_interval: 0,
     }
 }
 

@@ -1,0 +1,114 @@
+//! Steal-schedule determinism: a free-running work-stealing replay is
+//! scheduling-dependent, but the mapping from its recorded
+//! [`StealSchedule`] to per-core statistics must be a pure function.
+//! Replaying the schedule serially must reproduce the parallel run's
+//! per-core `EngineStats` and TLB statistics **bit for bit** — including
+//! stall cycles, because ws workers share no LLC or any other mutable
+//! state. Repeated ≥8 times so different physical interleavings (and
+//! hence different schedules) are exercised in one test run.
+
+use mixtlb_pagetable::PageTable;
+use mixtlb_sim::designs;
+use mixtlb_sim::TlbHierarchy;
+use mixtlb_smp::{
+    replay_parallel, replay_scheduled, MultiProgrammedScenario, SmpScenarioConfig, StealSchedule,
+    WsConfig, WsReport,
+};
+use mixtlb_trace::TraceEvent;
+
+const EVENTS: usize = 12_000;
+const RUNS: usize = 8;
+
+fn fixture() -> (Vec<TraceEvent>, PageTable) {
+    let scenario = MultiProgrammedScenario::gups_times(1, &SmpScenarioConfig::quick());
+    let events: Vec<TraceEvent> = scenario.generator(0).take(EVENTS).collect();
+    (events, scenario.clone_page_table(0))
+}
+
+/// Every per-core counter the two replays must agree on, bit for bit.
+fn assert_reports_identical(par: &WsReport, ser: &WsReport, run: usize) {
+    assert_eq!(par.cores.len(), ser.cores.len());
+    assert_eq!(par.events, ser.events);
+    for (p, s) in par.cores.iter().zip(&ser.cores) {
+        assert_eq!(p.core, s.core);
+        assert_eq!(p.asid, s.asid, "run {run}: core {} ASID diverged", p.core);
+        assert_eq!(
+            p.chunks, s.chunks,
+            "run {run}: core {} executed a different chunk order",
+            p.core
+        );
+        assert_eq!(
+            p.chunks_stolen, s.chunks_stolen,
+            "run {run}: core {} steal count diverged",
+            p.core
+        );
+        assert_eq!(
+            p.engine, s.engine,
+            "run {run}: core {} EngineStats diverged between parallel and scheduled replay",
+            p.core
+        );
+        assert_eq!(p.l1, s.l1, "run {run}: core {} L1 TlbStats diverged", p.core);
+        assert_eq!(p.l2, s.l2, "run {run}: core {} L2 TlbStats diverged", p.core);
+    }
+}
+
+/// Chunk coverage is schedule-independent: every chunk of the stream is
+/// executed exactly once, whoever won it.
+fn assert_full_coverage(report: &WsReport, cfg: &WsConfig, run: usize) {
+    let mut seen: Vec<u64> = report.cores.iter().flat_map(|c| c.chunks.clone()).collect();
+    seen.sort_unstable();
+    let expected: Vec<u64> = (0..(EVENTS as u64).div_ceil(cfg.chunk_events as u64)).collect();
+    assert_eq!(seen, expected, "run {run}: chunks lost or duplicated");
+    let replayed: u64 = report.cores.iter().map(|c| c.engine.accesses).sum();
+    assert_eq!(replayed, EVENTS as u64, "run {run}: events lost or duplicated");
+}
+
+fn parallel_matches_scheduled(factory: fn() -> TlbHierarchy) {
+    let (events, pt) = fixture();
+    let cfg = WsConfig::new(4, 256);
+    for run in 0..RUNS {
+        let par = replay_parallel(&events, &pt, factory, &cfg);
+        assert_full_coverage(&par, &cfg, run);
+        let ser = replay_scheduled(&events, &pt, factory, &cfg, &par.schedule());
+        assert_reports_identical(&par, &ser, run);
+    }
+}
+
+#[test]
+fn mix_parallel_matches_its_recorded_schedule() {
+    parallel_matches_scheduled(designs::mix);
+}
+
+#[test]
+fn split_parallel_matches_its_recorded_schedule() {
+    parallel_matches_scheduled(designs::haswell_split);
+}
+
+/// The serial driver itself is a pure function of the schedule: replaying
+/// the same recorded schedule twice gives identical reports, and a
+/// hand-built schedule that forces cross-core "steals" (chunks executed
+/// away from their home deque) is reproduced just as exactly.
+#[test]
+fn scheduled_replay_is_a_pure_function_of_the_schedule() {
+    let (events, pt) = fixture();
+    let cfg = WsConfig::new(3, 256);
+    let chunks = (EVENTS as u64).div_ceil(cfg.chunk_events as u64);
+    // Everything on core 0 except the tail, which cores 1 and 2 "stole"
+    // in reverse order — a schedule no free run is likely to produce.
+    let schedule = StealSchedule {
+        per_core: vec![
+            (0..chunks - 2).collect(),
+            vec![chunks - 1],
+            vec![chunks - 2],
+        ],
+    };
+    let a = replay_scheduled(&events, &pt, designs::mix, &cfg, &schedule);
+    let b = replay_scheduled(&events, &pt, designs::mix, &cfg, &schedule);
+    assert_reports_identical(&a, &b, 0);
+    // The forced steals are attributed by home ownership, not by which
+    // driver ran the chunk.
+    assert!(
+        a.cores[1].chunks_stolen + a.cores[2].chunks_stolen > 0,
+        "tail chunks executed off their home deque must count as steals"
+    );
+}

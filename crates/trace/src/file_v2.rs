@@ -181,6 +181,13 @@ fn bad_block_count(count: u64, remaining: u64) -> io::Error {
 }
 
 #[cold]
+fn oversized_block(count: u64) -> io::Error {
+    invalid(format!(
+        "block event count {count} exceeds the {BLOCK_EVENTS}-event block size"
+    ))
+}
+
+#[cold]
 fn implausible_payload(payload_len: u64, count: u64) -> io::Error {
     invalid(format!(
         "block payload length {payload_len} implausible for {count} events"
@@ -358,6 +365,14 @@ impl TraceFileV2 {
         };
         if count == 0 || count > self.remaining {
             return Err(bad_block_count(count, self.remaining));
+        }
+        // The writer never frames more than BLOCK_EVENTS per block, and
+        // enforcing that here keeps the plausibility arithmetic below free
+        // of overflow: without this cap, a crafted count near u64::MAX / 22
+        // wraps `count * 22` small enough to smuggle an arbitrary
+        // payload_len past the bound and into a giant allocation.
+        if count > BLOCK_EVENTS as u64 {
+            return Err(oversized_block(count));
         }
         let Some(payload_len) = read_varint_stream(&mut self.reader)? else {
             return Err(invalid("block header truncated before payload length"));
@@ -573,6 +588,39 @@ mod tests {
         assert!(err.to_string().contains("truncated"), "{err}");
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&head).ok();
+    }
+
+    #[test]
+    fn overflowing_block_count_is_rejected_before_allocating() {
+        // A crafted header promises u64::MAX events and a block claims a
+        // count chosen so `count * 22` wraps past u64::MAX, which used to
+        // slip an enormous payload_len past the plausibility bound and
+        // into `vec![0u8; payload_len]`. The block-size cap must reject
+        // the count before any allocation happens.
+        let path = temp("overflow-count.mtc2");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        // ceil(2^64 / 22) wraps `count * 22` back to ~0; the extra term
+        // pushes the wrapped product to ~2^61 so the old bound accepted a
+        // multi-exabyte payload_len (and the reader aborted trying to
+        // allocate it).
+        let count = u64::MAX / 22 + 1 + ((1u64 << 61) / 22 + 1);
+        write_varint(&mut bytes, count);
+        let payload_len = 1u64 << 61;
+        assert!(
+            payload_len <= count.wrapping_mul(22) + 64,
+            "crafted payload must have passed the pre-fix wrapped bound"
+        );
+        write_varint(&mut bytes, payload_len);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut file = TraceFileV2::open(&path).unwrap();
+        let err = file.find_map(|e| e.err()).expect("must surface an error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("block size"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -108,6 +108,66 @@ proptest! {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// Truncation landing *exactly* on a block boundary is the nastiest
+    /// cut: every byte the reader sees is self-consistent (whole blocks,
+    /// valid checksums), so only the header's event count can expose the
+    /// chopped tail. The reader must decode the surviving whole blocks
+    /// and then report the missing events — never a clean EOF, never a
+    /// panic.
+    #[test]
+    fn chunk_boundary_truncation_reports_the_missing_tail(
+        tail in 1usize..400,
+        case in 0u32..u32::MAX,
+    ) {
+        // One full 2048-event block plus a ragged tail block.
+        const BLOCK_EVENTS: usize = 2048;
+        let events: Vec<TraceEvent> = {
+            let mut v = Vec::with_capacity(BLOCK_EVENTS + tail);
+            for i in 0..(BLOCK_EVENTS + tail) as u64 {
+                v.push(TraceEvent {
+                    va: VirtAddr::from_page(Vpn::new(0x4000 + i * 3), (i * 7) % 4096),
+                    kind: AccessKind::Load,
+                    pc: 0x40_0000 + i * 4,
+                });
+            }
+            v
+        };
+        let path = temp(&format!("boundary-{case}"));
+        TraceFileV2::record(&path, events.iter().copied()).unwrap();
+
+        // Find the exact boundary after block 1 by encoding block 1 alone:
+        // deltas reset per block, so the first block's bytes are identical.
+        let head = temp(&format!("boundary-head-{case}"));
+        TraceFileV2::record(&head, events.iter().copied().take(BLOCK_EVENTS)).unwrap();
+        let cut = std::fs::metadata(&head).unwrap().len() as usize;
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assert!(cut < bytes.len(), "tail block must exist past the cut");
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let reader = TraceFileV2::open(&path).unwrap();
+        let mut decoded = 0usize;
+        let mut err = None;
+        for item in reader {
+            match item {
+                Ok(ev) => {
+                    prop_assert_eq!(ev, events[decoded], "surviving events must be intact");
+                    decoded += 1;
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(decoded, BLOCK_EVENTS, "the whole first block still decodes");
+        let err = err.expect("the chopped tail must surface as an error, not clean EOF");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        prop_assert!(err.to_string().contains("truncated"), "{}", err);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&head);
+    }
+
     #[test]
     fn corruption_is_an_error_not_garbage(
         events in proptest::collection::vec(event_strategy(), 1..300),

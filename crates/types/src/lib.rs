@@ -36,7 +36,7 @@ mod perms;
 mod pte;
 
 pub use addr::{PhysAddr, VirtAddr, PTES_PER_NODE, PTE_BYTES};
-pub use asid::Asid;
+pub use asid::{Asid, AsidAllocation, AsidAllocator};
 pub use page::{PageSize, Pfn, Vpn, PAGE_SHIFT, PAGE_SIZE_4K};
 pub use perms::{AccessKind, Permissions};
 pub use pte::{Translation, TranslationError};
