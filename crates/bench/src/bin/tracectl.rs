@@ -9,10 +9,12 @@
 //! tracectl verify <workload> <events> <path> [footprint_mb] [seed]
 //! ```
 //!
-//! `info` auto-detects the container version. For v2 files the full
-//! iteration doubles as a checksum audit (every block's FNV-1a is
-//! verified), and the report includes the compression ratio against the
-//! fixed-record v1 encoding of the same stream.
+//! `info` auto-detects the container version. v2 files are audited
+//! through the streaming block reader in constant memory — one block
+//! buffer reused across the whole file regardless of corpus length —
+//! verifying every block's FNV-1a and reporting per-block event/byte
+//! statistics alongside the compression ratio against the fixed-record
+//! v1 encoding of the same stream.
 
 #![forbid(unsafe_code)]
 
@@ -20,8 +22,8 @@ use std::collections::HashSet;
 use std::process::exit;
 
 use mixtlb_trace::{
-    probe_version, v1_equivalent_bytes, TraceEvent, TraceFile, TraceFileV2, TraceGenerator,
-    WorkloadSpec,
+    decode_block, probe_version, v1_equivalent_bytes, BlockReader, RawBlock, TraceEvent, TraceFile,
+    TraceFileV2, TraceGenerator, WorkloadSpec,
 };
 use mixtlb_types::Vpn;
 
@@ -71,24 +73,32 @@ struct StreamStats {
 }
 
 impl StreamStats {
-    fn collect(events: impl Iterator<Item = std::io::Result<TraceEvent>>) -> StreamStats {
-        let mut s = StreamStats {
+    fn new() -> StreamStats {
+        StreamStats {
             min_va: u64::MAX,
             ..StreamStats::default()
-        };
+        }
+    }
+
+    fn add(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        if ev.kind.is_store() {
+            self.stores += 1;
+        }
+        self.pages.insert(ev.va.vpn().raw());
+        self.pcs.insert(ev.pc);
+        self.min_va = self.min_va.min(ev.va.raw());
+        self.max_va = self.max_va.max(ev.va.raw());
+    }
+
+    fn collect(events: impl Iterator<Item = std::io::Result<TraceEvent>>) -> StreamStats {
+        let mut s = StreamStats::new();
         for ev in events {
             let ev = ev.unwrap_or_else(|e| {
                 eprintln!("corrupt record: {e}");
                 exit(1);
             });
-            s.events += 1;
-            if ev.kind.is_store() {
-                s.stores += 1;
-            }
-            s.pages.insert(ev.va.vpn().raw());
-            s.pcs.insert(ev.pc);
-            s.min_va = s.min_va.min(ev.va.raw());
-            s.max_va = s.max_va.max(ev.va.raw());
+            s.add(&ev);
         }
         s
     }
@@ -126,12 +136,50 @@ fn info(path: &str) {
             stats.print();
         }
         2 => {
-            let file = TraceFileV2::open(path).unwrap_or_else(|e| {
+            // Stream the file block by block through one reused buffer:
+            // the audit runs in constant memory no matter how long the
+            // corpus is, while still verifying every block's checksum
+            // and accumulating per-block shape statistics.
+            let mut blocks = BlockReader::open(path).unwrap_or_else(|e| {
                 eprintln!("open failed: {e}");
                 exit(1);
             });
-            let promised = file.event_count();
-            let stats = StreamStats::collect(file);
+            let promised = blocks.event_count();
+            let mut raw = RawBlock::default();
+            let mut decoded: Vec<TraceEvent> = Vec::new();
+            let mut stats = StreamStats::new();
+            let mut nblocks = 0u64;
+            let mut payload_bytes = 0u64;
+            let mut min_block = u64::MAX;
+            let mut max_block = 0u64;
+            loop {
+                match blocks.read_block(&mut raw) {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(e) => {
+                        eprintln!("corrupt block {}: {e}", blocks.blocks_read());
+                        exit(1);
+                    }
+                }
+                decode_block(&raw, &mut decoded).unwrap_or_else(|e| {
+                    eprintln!("corrupt block {}: {e}", raw.seq());
+                    exit(1);
+                });
+                nblocks += 1;
+                payload_bytes += raw.payload_bytes() as u64;
+                min_block = min_block.min(raw.count());
+                max_block = max_block.max(raw.count());
+                for ev in &decoded {
+                    stats.add(ev);
+                }
+            }
+            if blocks.events_remaining() != 0 {
+                eprintln!(
+                    "truncated: header promises {promised} events, {} never arrived",
+                    blocks.events_remaining()
+                );
+                exit(1);
+            }
             let on_disk = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
             let v1_bytes = v1_equivalent_bytes(stats.events);
             println!("events:         {} (header promises {promised})", stats.events);
@@ -139,7 +187,13 @@ fn info(path: &str) {
                 "size:           {on_disk} B ({:.2}x smaller than the {v1_bytes} B v1 encoding)",
                 v1_bytes as f64 / on_disk.max(1) as f64
             );
-            println!("checksums:      OK (every block audited)");
+            if nblocks > 0 {
+                println!(
+                    "blocks:         {nblocks} ({min_block}..={max_block} events, {:.1} B/event payload)",
+                    payload_bytes as f64 / stats.events.max(1) as f64
+                );
+            }
+            println!("checksums:      OK (every block audited, constant memory)");
             stats.print();
         }
         other => {

@@ -203,11 +203,30 @@ impl LockNames {
 // hot-path rule
 // ---------------------------------------------------------------------
 
-/// Root functions by simple name: the batched translation entry points.
-const HOT_ROOT_NAMES: [&str; 2] = ["translate_batch", "lookup_batch"];
+/// Root functions by simple name: the batched translation entry points
+/// plus the streaming pipeline's per-block stage loops (reader, decoder,
+/// in-order consumer, work-stealing distributor, and the synchronous
+/// single-thread shape) — each runs once per trace block for the whole
+/// corpus, so steady-state allocation there is a leak multiplied by
+/// corpus length.
+const HOT_ROOT_NAMES: [&str; 7] = [
+    "translate_batch",
+    "lookup_batch",
+    "feed_blocks",
+    "decode_blocks",
+    "consume_in_order",
+    "distribute_chunks",
+    "stream_sync",
+];
 /// Root functions by qualified name: the smp replay inner loops — the
-/// per-core cadence loop and the work-stealing steal/execute loop.
-const HOT_ROOT_QUALS: [&str; 3] = ["SmpCore::run", "SmpCore::step", "WsWorker::run"];
+/// per-core cadence loop and the work-stealing steal/execute loops of
+/// both the finite-trace replay and the streaming pipeline.
+const HOT_ROOT_QUALS: [&str; 4] = [
+    "SmpCore::run",
+    "SmpCore::step",
+    "WsWorker::run",
+    "StreamWorker::run",
+];
 
 /// Callee names the downward walk does not enter. Name-based resolution
 /// links `Vec::new(…)`/`X::from(…)`/`….clone()` call tokens to every

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod handoff;
 pub mod lint;
 pub mod protocol;
 pub mod sched;

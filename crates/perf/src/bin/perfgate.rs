@@ -1,6 +1,13 @@
 //! perfgate — replay the pinned corpus through every design and gate
 //! throughput regressions against the previously committed report.
 //!
+//! Each design × workload cell records, beyond the original `scalar` /
+//! `batched` / `ws-batched` triple: the work-stealing scaling curve
+//! `ws-batched@{2,4,8}`, the end-to-end decode+translate pair
+//! `seq-batched` (buffer the whole corpus, then one `translate_batch`)
+//! vs `stream-batched` (block-streamed pipeline, constant memory), and
+//! the streaming work-stealing curve `stream-ws@{2,4,8}`.
+//!
 //! ```text
 //! perfgate gen-corpus [--dir DIR]
 //! perfgate measure [--out FILE] [--corpus DIR] [--pr N]
@@ -16,18 +23,38 @@ use std::process::ExitCode;
 
 use mixtlb_perf::{
     config_fingerprint, corpus_catalog, corpus_path, default_corpus_dir, file_fingerprint, gate,
-    gate_aggregate, load_events, prepare_scenario, replay_batched, replay_scalar, replay_ws,
+    gate_aggregate, load_events, path_at_cores, prepare_scenario, replay_batched,
+    replay_decode_then_batched, replay_scalar, replay_stream_batched, replay_stream_ws, replay_ws,
     time_reps, write_corpus_file, BenchRecord, BenchReport, CorpusFileInfo, CorpusWorkload,
-    PATH_BATCHED, PATH_SCALAR, PATH_WS_BATCHED,
+    PATH_BATCHED, PATH_SCALAR, PATH_SEQ_BATCHED, PATH_STREAM_BATCHED, PATH_STREAM_WS,
+    PATH_WS_BATCHED,
 };
 use mixtlb_sim::designs::all_cpu_designs;
+use mixtlb_smp::StreamConfig;
 
-/// Worker threads of the ws-batched measurement. Pinned (not
+/// Worker threads of the legacy `ws-batched` point. Pinned (not
 /// host-derived) so the recorded triple means the same thing on every
 /// runner; chunk size matches the bench binary's corpus replay.
 const WS_CORES: usize = 4;
 /// Events per stealable chunk of the ws-batched measurement.
 const WS_CHUNK_EVENTS: usize = 1024;
+/// Core counts of the committed scaling curves (`ws-batched@N`,
+/// `stream-ws@N`).
+const SCALING_CORES: [usize; 3] = [2, 4, 8];
+/// Streaming shape of the `stream-batched` point: the synchronous
+/// single-thread pipeline. On the pinned 1-CPU runner decode threads
+/// only add hand-off and scheduling cost; the streaming win there is the
+/// cache-resident per-block working set, which the synchronous shape
+/// keeps while staying as deterministic as the batched loop.
+fn stream_cfg() -> StreamConfig {
+    StreamConfig::synchronous()
+}
+/// Streaming shape of the `stream-ws@N` points: one decode thread (the
+/// corpus decodes faster than it translates, so one decoder saturates
+/// the workers) over an 8-buffer pool.
+fn stream_ws_cfg() -> StreamConfig {
+    StreamConfig::threaded(1, 8)
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -118,10 +145,10 @@ fn measure(args: &[String]) -> ExitCode {
     let dir = flag_value(args, "--corpus")
         .map(PathBuf::from)
         .unwrap_or_else(default_corpus_dir);
-    let out = flag_value(args, "--out").unwrap_or_else(|| "BENCH_6.json".to_owned());
+    let out = flag_value(args, "--out").unwrap_or_else(|| "BENCH_9.json".to_owned());
     let pr: u32 = flag_value(args, "--pr")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(6);
+        .unwrap_or(9);
     let plan = measure_plan(args);
 
     let mut report = BenchReport {
@@ -187,34 +214,131 @@ fn measure(args: &[String]) -> ExitCode {
                 eprintln!("perfgate: zero reps requested");
                 return ExitCode::FAILURE;
             };
-            // The multi-core point: the same trace chunked over WS_CORES
-            // work-stealing workers, each on its own engine's batched path.
+            // The multi-core scaling curve: the same trace chunked over
+            // work-stealing workers at each pinned core count, each worker
+            // on its own engine's batched path. The 4-core point is also
+            // recorded under the legacy bare name so it stays comparable
+            // to reports that predate the curve.
             let ws_pt = scenario.clone_page_table();
-            let Some(ws_timing) = time_reps(plan.warmup, plan.reps, || {
-                replay_ws(factory, &ws_pt, &events, WS_CORES, WS_CHUNK_EVENTS)
-            }) else {
+            let mut ws_medians = Vec::new();
+            for cores in SCALING_CORES {
+                let Some(t) = time_reps(plan.warmup, plan.reps, || {
+                    replay_ws(factory, &ws_pt, &events, cores, WS_CHUNK_EVENTS)
+                }) else {
+                    eprintln!("perfgate: zero reps requested");
+                    return ExitCode::FAILURE;
+                };
+                ws_medians.push(t.median_ns);
+                let accesses = events.len() as u64;
+                report.records.push(BenchRecord::new(
+                    design,
+                    w.name,
+                    &path_at_cores(PATH_WS_BATCHED, cores),
+                    accesses,
+                    t,
+                ));
+                if cores == WS_CORES {
+                    report.records.push(BenchRecord::new(
+                        design,
+                        w.name,
+                        PATH_WS_BATCHED,
+                        accesses,
+                        t,
+                    ));
+                }
+            }
+            // End-to-end decode+translate: the sequential buffer-the-whole-
+            // corpus baseline vs the streaming pipeline, then the streaming
+            // work-stealing scaling curve.
+            let bail = |e: &std::io::Error| -> ExitCode {
+                eprintln!("perfgate: streaming replay of {}: {e}", path.display());
+                ExitCode::FAILURE
+            };
+            let mut stream_err: Option<std::io::Error> = None;
+            let seq_timing = time_reps(plan.warmup, plan.reps, || {
+                let mut pt = scenario.clone_page_table();
+                replay_decode_then_batched(factory(), &mut pt, &path).unwrap_or_else(|e| {
+                    stream_err = Some(e);
+                    f64::NAN
+                })
+            });
+            if let Some(e) = &stream_err {
+                return bail(e);
+            }
+            let stream_timing = time_reps(plan.warmup, plan.reps, || {
+                let mut pt = scenario.clone_page_table();
+                replay_stream_batched(factory(), &mut pt, &path, &stream_cfg()).unwrap_or_else(
+                    |e| {
+                        stream_err = Some(e);
+                        f64::NAN
+                    },
+                )
+            });
+            if let Some(e) = &stream_err {
+                return bail(e);
+            }
+            let (Some(seq_t), Some(stream_t)) = (seq_timing, stream_timing) else {
                 eprintln!("perfgate: zero reps requested");
                 return ExitCode::FAILURE;
             };
-            let ws = BenchRecord::new(
+            let accesses = events.len() as u64;
+            report.records.push(BenchRecord::new(
                 design,
                 w.name,
-                PATH_WS_BATCHED,
-                events.len() as u64,
-                ws_timing,
-            );
+                PATH_SEQ_BATCHED,
+                accesses,
+                seq_t,
+            ));
+            report.records.push(BenchRecord::new(
+                design,
+                w.name,
+                PATH_STREAM_BATCHED,
+                accesses,
+                stream_t,
+            ));
+            let mut sws_medians = Vec::new();
+            for cores in SCALING_CORES {
+                let t = time_reps(plan.warmup, plan.reps, || {
+                    replay_stream_ws(factory, &ws_pt, &path, cores, &stream_ws_cfg())
+                        .unwrap_or_else(|e| {
+                            stream_err = Some(e);
+                            f64::NAN
+                        })
+                });
+                if let Some(e) = &stream_err {
+                    return bail(e);
+                }
+                let Some(t) = t else {
+                    eprintln!("perfgate: zero reps requested");
+                    return ExitCode::FAILURE;
+                };
+                sws_medians.push(t.median_ns);
+                report.records.push(BenchRecord::new(
+                    design,
+                    w.name,
+                    &path_at_cores(PATH_STREAM_WS, cores),
+                    accesses,
+                    t,
+                ));
+            }
             let speedup = scalar.median_ns / batched.median_ns.max(1e-9);
+            let overlap = seq_t.median_ns / stream_t.median_ns.max(1e-9);
             println!(
-                "  {design:<12} scalar {:>8.2} ns/tr  batched {:>8.2} ns/tr  ({speedup:.1}x)  \
-                 ws×{WS_CORES} {:>8.2} ns/tr",
-                scalar.median_ns, batched.median_ns, ws.median_ns
+                "  {design:<12} scalar {:>8.2}  batched {:>8.2} ({speedup:.1}x)  \
+                 ws@2/4/8 {:>6.2}/{:>6.2}/{:>6.2}",
+                scalar.median_ns, batched.median_ns, ws_medians[0], ws_medians[1], ws_medians[2]
+            );
+            println!(
+                "  {:<12} seq {:>8.2}  stream {:>8.2} ({overlap:.2}x)  \
+                 stream-ws@2/4/8 {:>6.2}/{:>6.2}/{:>6.2}",
+                "", seq_t.median_ns, stream_t.median_ns, sws_medians[0], sws_medians[1],
+                sws_medians[2]
             );
             if best_speedup.as_ref().is_none_or(|(s, _, _)| speedup > *s) {
                 best_speedup = Some((speedup, design.to_owned(), w.name.to_owned()));
             }
             report.records.push(scalar);
             report.records.push(batched);
-            report.records.push(ws);
         }
     }
 

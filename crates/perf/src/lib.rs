@@ -31,8 +31,12 @@ pub use corpus::{
     file_fingerprint, generate_events, load_events, prepare_scenario, write_corpus_file,
     CorpusWorkload,
 };
-pub use harness::{replay_batched, replay_scalar, replay_ws, time_reps, Timing};
+pub use harness::{
+    replay_batched, replay_decode_then_batched, replay_scalar, replay_stream_batched,
+    replay_stream_ws, replay_ws, time_reps, Timing,
+};
 pub use report::{
-    gate, gate_aggregate, BenchRecord, BenchReport, CorpusFileInfo, GateOutcome, BASELINE_DESIGN,
-    PATH_BATCHED, PATH_SCALAR, PATH_WS_BATCHED,
+    gate, gate_aggregate, path_at_cores, BenchRecord, BenchReport, CorpusFileInfo, GateOutcome,
+    BASELINE_DESIGN, PATH_BATCHED, PATH_SCALAR, PATH_SEQ_BATCHED, PATH_STREAM_BATCHED,
+    PATH_STREAM_WS, PATH_WS_BATCHED,
 };

@@ -28,8 +28,30 @@ pub const PATH_BATCHED: &str = "batched";
 /// The work-stealing multi-core replay: the trace chunked over worker
 /// threads, each driving its own engine's batched path
 /// ([`crate::replay_ws`]). Records aggregate wall-clock ns per
-/// translation across the whole machine.
+/// translation across the whole machine. The bare name is the legacy
+/// 4-core point (comparable back to `BENCH_8.json`); the scaling curve
+/// appends `@<cores>` (see [`path_at_cores`]).
 pub const PATH_WS_BATCHED: &str = "ws-batched";
+/// The streaming decode→translate path: blocks stream straight from the
+/// on-disk corpus into per-block `translate_batch` calls
+/// ([`crate::replay_stream_batched`]) — end-to-end decode+translate
+/// wall-clock, comparable to [`PATH_SEQ_BATCHED`].
+pub const PATH_STREAM_BATCHED: &str = "stream-batched";
+/// The sequential decode-then-translate baseline the streaming path is
+/// measured against: decode the whole corpus into one `Vec`, then one
+/// `translate_batch` call ([`crate::replay_decode_then_batched`]).
+pub const PATH_SEQ_BATCHED: &str = "seq-batched";
+/// The streaming work-stealing path: decode overlaps translation across
+/// work-stealing worker engines ([`crate::replay_stream_ws`]). Always
+/// recorded with `@<cores>` appended (see [`path_at_cores`]).
+pub const PATH_STREAM_WS: &str = "stream-ws";
+
+/// The `<base>@<cores>` spelling of a core-count scaling point —
+/// `ws-batched@8`, `stream-ws@2`, … Paths are opaque strings in the
+/// report schema, so scaling rows need no schema change.
+pub fn path_at_cores(base: &str, cores: usize) -> String {
+    format!("{base}@{cores}")
+}
 
 /// Every path the aggregate gate covers, with a noise factor scaling the
 /// caller's tolerance for that path. Paths absent from one of the two
@@ -37,20 +59,33 @@ pub const PATH_WS_BATCHED: &str = "ws-batched";
 /// new path here keeps the first report that carries it gating green
 /// against older baselines.
 ///
-/// The single-thread paths gate at the caller's tolerance unchanged. The
-/// ws-batched path runs several OS threads that time-slice over however
-/// many CPUs the runner exposes (a 1-CPU container oversubscribes 4:1),
-/// so its aggregate wall-clock carries scheduler noise the single-thread
-/// loops don't — back-to-back quick measures on a shared 1-CPU runner
-/// swing the path geomean by up to ~1.7x with no code change (measured).
-/// The 1.5x factor absorbs that while still tripping on a whole-path
-/// collapse (>2.5x at the wide shared-runner default of 40%); the factor
-/// scales with the caller's tolerance, so a quiet dedicated runner at
-/// 10% gates ws-batched at a tight 15%.
-const GATED_PATHS: [(&str, f64); 3] = [
+/// The single-thread paths gate at the caller's tolerance unchanged
+/// (stream-batched and seq-batched both run the synchronous shape — one
+/// thread, no scheduler exposure — their extra decode phase is
+/// deterministic work, not noise). The ws-batched points run several OS
+/// threads that time-slice over however many CPUs the runner exposes (a
+/// 1-CPU container oversubscribes 4:1), so their aggregate wall-clock
+/// carries scheduler noise the single-thread loops don't — back-to-back
+/// quick measures on a shared 1-CPU runner swing the path geomean by up
+/// to ~1.7x with no code change (measured). The 1.5x factor absorbs that
+/// while still tripping on a whole-path collapse (>2.5x at the wide
+/// shared-runner default of 40%); the factor scales with the caller's
+/// tolerance, so a quiet dedicated runner at 10% gates ws-batched at a
+/// tight 15%. The stream-ws points add a reader, a decoder, and a
+/// distributor thread on top of the workers (8 threads over 1 CPU at the
+/// widest point), so they get a 2.0x factor.
+const GATED_PATHS: [(&str, f64); 11] = [
     (PATH_SCALAR, 1.0),
     (PATH_BATCHED, 1.0),
     (PATH_WS_BATCHED, 1.5),
+    ("ws-batched@2", 1.5),
+    ("ws-batched@4", 1.5),
+    ("ws-batched@8", 1.5),
+    (PATH_STREAM_BATCHED, 1.0),
+    (PATH_SEQ_BATCHED, 1.0),
+    ("stream-ws@2", 2.0),
+    ("stream-ws@4", 2.0),
+    ("stream-ws@8", 2.0),
 ];
 
 /// The design whose scalar path anchors normalization.

@@ -3,12 +3,18 @@
 //! The classic Chase–Lev deque stores arbitrary values in a growable
 //! circular buffer, which forces `unsafe` reclamation. This workspace
 //! forbids `unsafe`, and the replay engines never need it: their work
-//! items are small integers (trace-chunk ids, address-space ids) whose
-//! total count is known before any worker starts. So the buffer here is a
-//! fixed array of `AtomicU64` slots sized for the whole run, every slot
-//! is written at most once, and stolen reads can never observe a
-//! recycled slot — the one hazard that makes the textbook algorithm
-//! subtle. What remains is the Chase–Lev protocol itself:
+//! items are small integers (trace-chunk ids, address-space ids, buffer
+//! pool ids), so slots are plain `AtomicU64`s in a fixed array and no
+//! reclamation ever happens. Slot *positions* may still be reused — the
+//! streaming pipeline's distributor pushes recycled pool ids through a
+//! deque sized for the pool, not the run — but a reused slot can never
+//! be observed torn or stale: [`ChunkDeque::push`] refuses to wrap into
+//! a slot the thief-side `top` has not yet passed, so while `top == t`
+//! slot `t & mask` still holds item `t`, and a thief whose read raced a
+//! later overwrite necessarily loses its claim (the compare-exchange on
+//! `top` fails) and discards the value. That tames the one hazard that
+//! makes the textbook algorithm subtle. What remains is the Chase–Lev
+//! protocol itself:
 //!
 //! * the **owner** pushes and pops at the *bottom* (LIFO, cache-warm),
 //! * **thieves** steal at the *top* (FIFO, the oldest work), claiming an
@@ -44,8 +50,10 @@ pub struct ChunkDeque {
 }
 
 impl ChunkDeque {
-    /// A deque able to hold `capacity` items at once. The replay drivers
-    /// size it for the whole run, so slots are never recycled.
+    /// A deque able to hold `capacity` items at once. The fixed replay
+    /// drivers size it for the whole run (no slot position ever reused);
+    /// the streaming pipeline sizes it for its buffer pool and pushes
+    /// each pool id many times — safe either way, see the module docs.
     pub fn with_capacity(capacity: usize) -> ChunkDeque {
         let len = capacity.max(1).next_power_of_two();
         let slots: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
@@ -111,8 +119,10 @@ impl ChunkDeque {
             self.bottom.store(nb.wrapping_add(1), Ordering::SeqCst);
             return None;
         }
-        // Slots are written once and never recycled, so this read is the
-        // item for position `nb` whether or not we still win it below.
+        // The owner is the only writer of slots, its pushes are
+        // sequential, and `bottom` is currently `nb + 1` — so no push can
+        // have lapped position `nb` and this read is the item for `nb`
+        // whether or not we still win it below.
         let item = self.slots[(nb & self.mask) as usize].load(Ordering::Acquire);
         if (t as i64) == (nb as i64) {
             // Exactly one item left: arbitrate with any thief through the
@@ -142,9 +152,11 @@ impl ChunkDeque {
             if (t as i64) >= (b as i64) {
                 return None;
             }
-            // Slots are written once and never recycled, so this read is
-            // the item for position `t` whether or not the claim below
-            // succeeds.
+            // While `top == t` the owner's push cannot have lapped slot
+            // `t & mask` (push refuses to wrap past `top`), so this read
+            // is the item for position `t`. If the slot *was* overwritten
+            // meanwhile, `top` has moved and the claim below fails, and
+            // the possibly-stale value is discarded.
             let item = self.slots[(t & self.mask) as usize].load(Ordering::Acquire);
             if self
                 .top

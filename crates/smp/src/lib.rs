@@ -49,6 +49,7 @@
 mod core;
 mod deque;
 mod machine;
+mod pipeline;
 mod scenario;
 mod shootdown;
 mod stress;
@@ -56,6 +57,10 @@ mod ws;
 
 pub use crate::core::{CoreStats, SmpCore};
 pub use deque::ChunkDeque;
+pub use pipeline::{
+    stream_chunks, stream_replay_ws, ChunkBuf, PoolStats, StreamConfig, StreamReport,
+    StreamWsReport, V2_BLOCK_MAX_PAYLOAD,
+};
 pub use machine::{CoreReport, SmpMachine, SmpReport};
 pub use scenario::{MultiProgrammedScenario, SmpScenarioConfig};
 pub use shootdown::{ShootdownModel, SweepWidths};

@@ -1,0 +1,705 @@
+//! Streaming decode→translate pipeline over a recycled buffer pool.
+//!
+//! [`crate::replay_parallel`] and the perf harness's batched replay both
+//! assume the whole event corpus sits decoded in one `Vec` before any
+//! translation starts. That serializes two phases that have no data
+//! dependency at block granularity — the v2 trace format frames
+//! independently decodable, checksummed blocks precisely so decode of
+//! block *k+1* can overlap translation of block *k* — and it costs an
+//! O(corpus) resident buffer that defeats the cache for corpora past the
+//! LLC and defeats the machine for corpora past RAM.
+//!
+//! This module streams instead. A [`mixtlb_trace::BlockReader`] feeds raw
+//! framed blocks into a fixed pool of [`ChunkBuf`]s (each one raw payload
+//! plus one decoded-event `Vec`, both pre-sized and reused for the whole
+//! run — zero steady-state allocation); decoder workers verify checksums
+//! and decode; a consumer translates. Every hand-off rides a
+//! [`BoundedQueue`] from `mixtlb_check::handoff`, the two-semaphore
+//! protocol whose blocking structure the model checker explores
+//! (`mixtlb-check --model`), so back-pressure — the property that bounds
+//! resident memory at O(depth × block) independent of corpus length — is
+//! a checked invariant, not a hope.
+//!
+//! Two consumers are provided:
+//!
+//! * [`stream_chunks`] — in-order delivery to a caller-supplied closure;
+//!   one [`mixtlb_sim::TranslationEngine::translate_batch`] per block
+//!   gives the perfgate `stream-batched` path. With `decoders == 0` the
+//!   stages run synchronously on the caller's thread (still constant
+//!   memory; the right shape on a single hardware thread, where the win
+//!   is cache-resident chunks, not overlap).
+//! * [`stream_replay_ws`] — a distributor parks decoded buffers in a slot
+//!   table and publishes pool ids through per-core [`ChunkDeque`]s to
+//!   work-stealing translation workers (one engine per core, as in
+//!   [`crate::replay_parallel`]): the perfgate `stream-ws` path.
+//!
+//! # Fault propagation
+//!
+//! Damage anywhere — truncated framing, a corrupted payload failing its
+//! checksum — surfaces on the consumer side as the stream's `Err`
+//! ([`std::io::ErrorKind::InvalidData`]), never as a hang and never as a
+//! partially decoded chunk: [`mixtlb_trace::decode_block`] clears its
+//! output on any error, the in-order consumer translates nothing at or
+//! past the damaged block's sequence number, and a cancel flag walks the
+//! failure back to the reader so every stage drains and joins.
+
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use mixtlb_check::handoff::BoundedQueue;
+use mixtlb_check::sync::{AtomicU64, Mutex, Ordering};
+use mixtlb_pagetable::PageTable;
+use mixtlb_sim::{TlbHierarchy, TranslationEngine, WalkBackend};
+use mixtlb_trace::{decode_block, BlockReader, RawBlock, TraceEvent, V2_BLOCK_EVENTS};
+use mixtlb_types::{Asid, PhysAddr};
+
+use crate::deque::ChunkDeque;
+use crate::ws::WsCoreReport;
+
+/// Worst-case encoded bytes per v2 block (count × max event encoding +
+/// framing slack), mirroring the reader's plausibility bound. Used only
+/// for pool-accounting assertions.
+pub const V2_BLOCK_MAX_PAYLOAD: usize = V2_BLOCK_EVENTS * 22 + 64;
+
+/// One pool buffer: a raw framed block and its decoded events, both
+/// reused across the whole run. The pool id is stable for the buffer's
+/// lifetime and doubles as its slot-table index in the work-stealing
+/// consumer.
+#[derive(Debug)]
+pub struct ChunkBuf {
+    pool_id: usize,
+    raw: RawBlock,
+    events: Vec<TraceEvent>,
+}
+
+impl ChunkBuf {
+    fn with_pool_id(pool_id: usize) -> ChunkBuf {
+        ChunkBuf {
+            pool_id,
+            raw: RawBlock::new(),
+            // Pre-size for the largest block the format frames: decode
+            // never reallocates, which the hot-path analyzer enforces on
+            // the stage functions below.
+            events: Vec::with_capacity(V2_BLOCK_EVENTS),
+        }
+    }
+
+    /// The carried block's sequence number (position in the file).
+    pub fn seq(&self) -> u64 {
+        self.raw.seq()
+    }
+
+    /// The decoded events (empty until decoded, cleared on decode error).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+/// Shape of a streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Decoder worker threads. `0` = fully synchronous: read, verify,
+    /// decode, and consume on the caller's thread, one block resident.
+    pub decoders: usize,
+    /// Buffers in the pool (the pipeline depth). Resident event memory is
+    /// bounded by `depth × V2_BLOCK_EVENTS` events regardless of corpus
+    /// length. Ignored (one buffer) when `decoders == 0`.
+    pub depth: usize,
+}
+
+impl StreamConfig {
+    /// The synchronous single-thread shape.
+    pub fn synchronous() -> StreamConfig {
+        StreamConfig {
+            decoders: 0,
+            depth: 1,
+        }
+    }
+
+    /// A threaded shape: `decoders` decode workers over a pool of
+    /// `depth` buffers (raised to `decoders + 1` if smaller, so every
+    /// decoder can hold a buffer while the consumer holds one).
+    pub fn threaded(decoders: usize, depth: usize) -> StreamConfig {
+        assert!(decoders >= 1, "threaded shape needs at least one decoder");
+        StreamConfig {
+            decoders,
+            depth: depth.max(decoders + 1),
+        }
+    }
+}
+
+/// Buffer-pool accounting, measured after the run quiesces. The
+/// memory-bound acceptance test asserts `buffers` equals the configured
+/// depth and the capacities respect the per-block maxima — i.e. peak
+/// resident footprint is O(depth × block), independent of corpus length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers that returned to the free queue (must equal the pool size:
+    /// no leaks, nothing stranded in a stage).
+    pub buffers: usize,
+    /// Summed capacity of the decoded-event `Vec`s, in events.
+    pub event_capacity: usize,
+    /// Summed capacity of the raw payload buffers, in bytes.
+    pub payload_capacity: usize,
+}
+
+/// Outcome of a [`stream_chunks`] run.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Events delivered to the consumer.
+    pub events: u64,
+    /// Blocks delivered to the consumer.
+    pub blocks: u64,
+    /// Wall-clock time for the whole stream (decode + consume together).
+    pub elapsed: Duration,
+    /// Buffer-pool accounting.
+    pub pool: PoolStats,
+}
+
+/// Outcome of a [`stream_replay_ws`] run.
+#[derive(Debug, Clone)]
+pub struct StreamWsReport {
+    /// Per-core reports; `chunks` holds block sequence numbers in
+    /// execution order.
+    pub cores: Vec<WsCoreReport>,
+    /// Events translated across all cores.
+    pub events: u64,
+    /// Blocks translated across all cores.
+    pub blocks: u64,
+    /// Wall-clock time for the whole stream.
+    pub elapsed: Duration,
+    /// Buffer-pool accounting.
+    pub pool: PoolStats,
+}
+
+impl StreamWsReport {
+    /// Total cross-deque grabs (a worker taking from another worker's
+    /// home deque).
+    pub fn total_steals(&self) -> u64 {
+        self.cores.iter().map(|c| c.chunks_stolen).sum()
+    }
+}
+
+/// Reader→decoder hand-off.
+#[derive(Debug)]
+enum DecodeMsg {
+    /// A framed block to verify and decode.
+    Block(ChunkBuf),
+    /// No more blocks; one per decoder.
+    Shutdown,
+}
+
+/// Decoder→consumer hand-off.
+#[derive(Debug)]
+enum ReadyMsg {
+    /// A verified, decoded block.
+    Chunk(ChunkBuf),
+    /// Reading or decoding block `seq` failed. The buffer (if any) went
+    /// back to the free pool with its events cleared.
+    Failed {
+        /// Sequence number of the damaged block.
+        seq: u64,
+        /// The underlying error, surfaced as the stream's result.
+        error: io::Error,
+    },
+    /// One decoder exited; the consumer is done after seeing them all.
+    DecoderDone,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> impl std::ops::DerefMut<Target = T> + 'a {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Reader stage: pulls free buffers, frames blocks into them, and feeds
+/// the decoders. On a read error it reports the damaged sequence and
+/// stops; on `cancel` (a downstream failure) it stops early. Either way
+/// it sends every decoder a shutdown and exits — queue capacities
+/// guarantee the control pushes never block.
+fn feed_blocks(
+    blocks: &mut BlockReader,
+    free: &BoundedQueue<ChunkBuf>,
+    decode: &BoundedQueue<DecodeMsg>,
+    ready: &BoundedQueue<ReadyMsg>,
+    cancel: &AtomicU64,
+    decoders: usize,
+) {
+    loop {
+        let mut buf = free.pop();
+        if cancel.load(Ordering::Acquire) != 0 {
+            free.push(buf);
+            break;
+        }
+        match blocks.read_block(&mut buf.raw) {
+            Ok(true) => decode.push(DecodeMsg::Block(buf)),
+            Ok(false) => {
+                free.push(buf);
+                break;
+            }
+            Err(error) => {
+                let seq = blocks.blocks_read();
+                free.push(buf);
+                ready.push(ReadyMsg::Failed { seq, error });
+                break;
+            }
+        }
+    }
+    for _ in 0..decoders {
+        decode.push(DecodeMsg::Shutdown);
+    }
+}
+
+/// Decoder stage: checksum-verify and decode blocks into their buffer's
+/// event `Vec`. A failed block's buffer is recycled immediately (its
+/// events cleared by `decode_block` — no partial chunk ever travels
+/// downstream) and the failure is published to the consumer.
+fn decode_blocks(
+    decode: &BoundedQueue<DecodeMsg>,
+    ready: &BoundedQueue<ReadyMsg>,
+    free: &BoundedQueue<ChunkBuf>,
+) {
+    loop {
+        match decode.pop() {
+            DecodeMsg::Block(mut buf) => match decode_block(&buf.raw, &mut buf.events) {
+                Ok(()) => ready.push(ReadyMsg::Chunk(buf)),
+                Err(error) => {
+                    let seq = buf.seq();
+                    free.push(buf);
+                    ready.push(ReadyMsg::Failed { seq, error });
+                }
+            },
+            DecodeMsg::Shutdown => {
+                ready.push(ReadyMsg::DecoderDone);
+                return;
+            }
+        }
+    }
+}
+
+/// In-order consumer stage: re-sequences out-of-order decoder output
+/// through a depth-bounded stash and hands each block to `consume` in
+/// file order. After a failure at sequence `f`, blocks below `f` are
+/// still consumed (they are intact by the format's framing) and blocks
+/// at or past `f` are recycled unconsumed.
+///
+/// Returns `(events, blocks, first_error)`.
+fn consume_in_order<F: FnMut(u64, &[TraceEvent])>(
+    ready: &BoundedQueue<ReadyMsg>,
+    free: &BoundedQueue<ChunkBuf>,
+    stash: &mut [Option<ChunkBuf>],
+    cancel: &AtomicU64,
+    decoders: usize,
+    consume: &mut F,
+) -> (u64, u64, Option<io::Error>) {
+    let mut next_seq = 0u64;
+    let mut events = 0u64;
+    let mut blocks = 0u64;
+    let mut done = 0usize;
+    let mut fail: Option<(u64, io::Error)> = None;
+    loop {
+        // Serve everything already deliverable in order.
+        loop {
+            if let Some((fs, _)) = &fail {
+                if next_seq >= *fs {
+                    break;
+                }
+            }
+            let Some(pos) = stash
+                .iter()
+                .position(|s| s.as_ref().is_some_and(|b| b.seq() == next_seq))
+            else {
+                break;
+            };
+            let Some(buf) = stash[pos].take() else { break };
+            consume(buf.seq(), &buf.events);
+            events += buf.events.len() as u64;
+            blocks += 1;
+            next_seq += 1;
+            free.push(buf);
+        }
+        if done == decoders {
+            break;
+        }
+        match ready.pop() {
+            ReadyMsg::Chunk(buf) => {
+                let discard = match &fail {
+                    Some((fs, _)) => buf.seq() >= *fs,
+                    None => false,
+                };
+                if discard {
+                    free.push(buf);
+                } else if let Some(slot) = stash.iter_mut().find(|s| s.is_none()) {
+                    *slot = Some(buf);
+                } else {
+                    // Unreachable: the stash has one slot per pool buffer.
+                    debug_assert!(false, "stash full with a buffer in flight");
+                    free.push(buf);
+                }
+            }
+            ReadyMsg::Failed { seq, error } => {
+                let keep = match &fail {
+                    Some((fs, _)) => seq < *fs,
+                    None => true,
+                };
+                if keep {
+                    fail = Some((seq, error));
+                }
+                cancel.store(1, Ordering::Release);
+            }
+            ReadyMsg::DecoderDone => done += 1,
+        }
+    }
+    // Recycle whatever the failure stranded in the stash.
+    for slot in stash.iter_mut() {
+        if let Some(buf) = slot.take() {
+            free.push(buf);
+        }
+    }
+    (events, blocks, fail.map(|(_, e)| e))
+}
+
+/// Drains the free queue and sums the pool accounting.
+fn pool_stats(free: &BoundedQueue<ChunkBuf>) -> PoolStats {
+    let mut stats = PoolStats {
+        buffers: 0,
+        event_capacity: 0,
+        payload_capacity: 0,
+    };
+    for _ in 0..free.len() {
+        let buf = free.pop();
+        stats.buffers += 1;
+        stats.event_capacity += buf.events.capacity();
+        stats.payload_capacity += buf.raw.payload_capacity();
+    }
+    stats
+}
+
+/// Streams the v2 trace at `path` through the decode pipeline, invoking
+/// `consume(seq, events)` on every block **in file order**. The perfgate
+/// `stream-batched` path wraps this with one
+/// [`TranslationEngine::translate_batch`] call per block.
+///
+/// With `cfg.decoders == 0` every stage runs synchronously on the
+/// caller's thread; otherwise a reader thread and `cfg.decoders` decode
+/// threads overlap with the consuming caller, hand-offs bounded by the
+/// `cfg.depth`-buffer pool.
+///
+/// # Errors
+///
+/// Propagates open/read/decode failures ([`io::ErrorKind::InvalidData`]
+/// for damaged input). Blocks preceding the damage are consumed; nothing
+/// at or past it is.
+pub fn stream_chunks<F>(path: &Path, cfg: &StreamConfig, mut consume: F) -> io::Result<StreamReport>
+where
+    F: FnMut(u64, &[TraceEvent]),
+{
+    let start = Instant::now();
+    let mut blocks = BlockReader::open(path)?;
+    if cfg.decoders == 0 {
+        return stream_sync(&mut blocks, start, &mut consume);
+    }
+    let decoders = cfg.decoders;
+    let depth = cfg.depth.max(decoders + 1);
+    let free = BoundedQueue::with_capacity(depth);
+    for id in 0..depth {
+        free.push(ChunkBuf::with_pool_id(id));
+    }
+    // Sized so control messages never block: the decode queue holds at
+    // most `depth` blocks (each needs a pool buffer) plus one shutdown
+    // per decoder; the ready queue at most `depth` chunks plus one
+    // failure each from the reader and every decoder plus the done marks.
+    let decode_q = BoundedQueue::with_capacity(depth + decoders);
+    let ready_q = BoundedQueue::with_capacity(depth + 2 * decoders + 1);
+    let cancel = AtomicU64::new(0);
+    let mut stash: Vec<Option<ChunkBuf>> = (0..depth).map(|_| None).collect();
+    let mut outcome = (0u64, 0u64, None);
+    std::thread::scope(|s| {
+        s.spawn(|| feed_blocks(&mut blocks, &free, &decode_q, &ready_q, &cancel, decoders));
+        for _ in 0..decoders {
+            s.spawn(|| decode_blocks(&decode_q, &ready_q, &free));
+        }
+        outcome = consume_in_order(&ready_q, &free, &mut stash, &cancel, decoders, &mut consume);
+    });
+    let (events, blocks, err) = outcome;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(StreamReport {
+        events,
+        blocks,
+        elapsed: start.elapsed(),
+        pool: pool_stats(&free),
+    })
+}
+
+/// The `decoders == 0` shape: read → verify+decode → consume per block on
+/// one thread, one buffer resident. On a single hardware thread this is
+/// the fastest streaming shape — the chunk stays cache-hot between decode
+/// and translation and there is no hand-off cost — while keeping the same
+/// constant-memory and fault-propagation contract as the threaded
+/// pipeline.
+fn stream_sync<F: FnMut(u64, &[TraceEvent])>(
+    blocks: &mut BlockReader,
+    start: Instant,
+    consume: &mut F,
+) -> io::Result<StreamReport> {
+    let mut buf = ChunkBuf::with_pool_id(0);
+    let mut events = 0u64;
+    let mut nblocks = 0u64;
+    while blocks.read_block(&mut buf.raw)? {
+        decode_block(&buf.raw, &mut buf.events)?;
+        consume(buf.seq(), &buf.events);
+        events += buf.events.len() as u64;
+        nblocks += 1;
+    }
+    Ok(StreamReport {
+        events,
+        blocks: nblocks,
+        elapsed: start.elapsed(),
+        pool: PoolStats {
+            buffers: 1,
+            event_capacity: buf.events.capacity(),
+            payload_capacity: buf.raw.payload_capacity(),
+        },
+    })
+}
+
+/// Distributor stage of the work-stealing consumer: parks each decoded
+/// buffer in its pool slot, then publishes the pool id through a per-core
+/// [`ChunkDeque`] (round-robin). The distributor is the sole owner of
+/// every deque — workers only steal — so the one-owner Chase–Lev
+/// discipline holds with pool ids recycling through the slots.
+///
+/// Returns `(blocks, events, first_error)`.
+fn distribute_chunks(
+    ready: &BoundedQueue<ReadyMsg>,
+    free: &BoundedQueue<ChunkBuf>,
+    slots: &[Mutex<Option<ChunkBuf>>],
+    deques: &[ChunkDeque],
+    cancel: &AtomicU64,
+    done: &AtomicU64,
+    decoders: usize,
+) -> (u64, u64, Option<io::Error>) {
+    let mut rr = 0usize;
+    let mut finished = 0usize;
+    let mut blocks = 0u64;
+    let mut events = 0u64;
+    let mut fail: Option<(u64, io::Error)> = None;
+    loop {
+        match ready.pop() {
+            ReadyMsg::Chunk(buf) => {
+                let discard = match &fail {
+                    Some((fs, _)) => buf.seq() >= *fs,
+                    None => false,
+                };
+                if discard {
+                    free.push(buf);
+                } else {
+                    blocks += 1;
+                    events += buf.events.len() as u64;
+                    let id = buf.pool_id;
+                    *lock(&slots[id]) = Some(buf);
+                    let published = deques[rr % deques.len()].push(id as u64);
+                    // Each deque holds the whole pool, so a publish can
+                    // never find it full.
+                    debug_assert!(published, "deque sized for the pool");
+                    rr += 1;
+                }
+            }
+            ReadyMsg::Failed { seq, error } => {
+                let keep = match &fail {
+                    Some((fs, _)) => seq < *fs,
+                    None => true,
+                };
+                if keep {
+                    fail = Some((seq, error));
+                }
+                cancel.store(1, Ordering::Release);
+            }
+            ReadyMsg::DecoderDone => {
+                finished += 1;
+                if finished == decoders {
+                    break;
+                }
+            }
+        }
+    }
+    // Publishes are all visible before `done`: a worker that observes
+    // `done` and still finds every deque empty can terminate.
+    done.store(1, Ordering::Release);
+    (blocks, events, fail.map(|(_, e)| e))
+}
+
+/// A translation worker of the streaming work-stealing consumer. Unlike
+/// [`crate::ws`]'s workers it owns no deque: the distributor owns them
+/// all, and every grab — even from the worker's home deque — is a
+/// thief-side `steal`.
+struct StreamWorker<'a, 'e> {
+    id: usize,
+    engine: TranslationEngine<'e>,
+    slots: &'a [Mutex<Option<ChunkBuf>>],
+    deques: &'a [ChunkDeque],
+    free: &'a BoundedQueue<ChunkBuf>,
+    done: &'a AtomicU64,
+    out: Vec<Option<PhysAddr>>,
+    seqs: Vec<u64>,
+    stolen: u64,
+}
+
+impl StreamWorker<'_, '_> {
+    /// Home deque first, then the others in ring order.
+    fn grab(&self) -> Option<(u64, usize)> {
+        let n = self.deques.len();
+        for k in 0..n {
+            let victim = (self.id + k) % n;
+            if let Some(id) = self.deques[victim].steal() {
+                return Some((id, victim));
+            }
+        }
+        None
+    }
+
+    fn execute(&mut self, id: u64, from: usize) {
+        let Some(buf) = lock(&self.slots[id as usize]).take() else {
+            // Unreachable: slots are parked before their id is published.
+            debug_assert!(false, "published pool id with an empty slot");
+            return;
+        };
+        if from != self.id {
+            self.stolen += 1;
+        }
+        self.seqs.push(buf.seq());
+        self.out.clear();
+        self.engine.translate_batch(&buf.events, &mut self.out);
+        self.free.push(buf);
+    }
+
+    /// Grabs and translates until the distributor signals `done` *and* a
+    /// subsequent sweep finds every deque empty — `done` is stored after
+    /// the final publish, so the re-check closes the race with ids
+    /// published just before the flag.
+    fn run(&mut self) {
+        loop {
+            if let Some((id, from)) = self.grab() {
+                self.execute(id, from);
+            } else if self.done.load(Ordering::Acquire) != 0 {
+                match self.grab() {
+                    Some((id, from)) => self.execute(id, from),
+                    None => break,
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Builds one streaming worker around its private engine (own ASID, own
+/// page-table clone, own TLB hierarchy — nothing shared, as in
+/// [`crate::replay_parallel`]) and runs it to completion.
+fn run_stream_core(
+    id: usize,
+    mut pt: PageTable,
+    factory: fn() -> TlbHierarchy,
+    slots: &[Mutex<Option<ChunkBuf>>],
+    deques: &[ChunkDeque],
+    free: &BoundedQueue<ChunkBuf>,
+    done: &AtomicU64,
+) -> WsCoreReport {
+    let asid = Asid::for_index(id);
+    let mut engine = TranslationEngine::new(factory(), WalkBackend::Native(&mut pt));
+    engine.set_asid(asid);
+    let mut worker = StreamWorker {
+        id,
+        engine,
+        slots,
+        deques,
+        free,
+        done,
+        out: Vec::with_capacity(V2_BLOCK_EVENTS),
+        seqs: Vec::new(),
+        stolen: 0,
+    };
+    worker.run();
+    let l1 = worker.engine.hierarchy().l1.stats();
+    let l2 = worker.engine.hierarchy().l2.as_ref().map(|t| t.stats());
+    WsCoreReport {
+        core: id,
+        asid,
+        chunks: worker.seqs,
+        chunks_stolen: worker.stolen,
+        engine: worker.engine.stats(),
+        l1,
+        l2,
+    }
+}
+
+/// Streams the v2 trace at `path` straight into `cores` work-stealing
+/// translation workers: reader → decoders → distributor → per-core
+/// [`ChunkDeque`]s, with decode of later blocks overlapping translation
+/// of earlier ones end to end. The perfgate `stream-ws` path.
+///
+/// Blocks are translated in steal order (not file order) by whichever
+/// core claims them, exactly like [`crate::replay_parallel`] — per-core
+/// statistics are schedule-dependent, aggregate event counts are not.
+///
+/// # Errors
+///
+/// As [`stream_chunks`]: damage surfaces as the run's `Err`, intact
+/// blocks below the damaged sequence still translate, every thread
+/// drains and joins.
+pub fn stream_replay_ws(
+    path: &Path,
+    pt: &PageTable,
+    factory: fn() -> TlbHierarchy,
+    cores: usize,
+    cfg: &StreamConfig,
+) -> io::Result<StreamWsReport> {
+    assert!(cores > 0, "need at least one core");
+    let decoders = cfg.decoders.max(1);
+    let depth = cfg.depth.max(decoders + 1);
+    let start = Instant::now();
+    let mut blocks = BlockReader::open(path)?;
+    let free = BoundedQueue::with_capacity(depth);
+    for id in 0..depth {
+        free.push(ChunkBuf::with_pool_id(id));
+    }
+    let decode_q = BoundedQueue::with_capacity(depth + decoders);
+    let ready_q = BoundedQueue::with_capacity(depth + 2 * decoders + 1);
+    let cancel = AtomicU64::new(0);
+    let done = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<ChunkBuf>>> = (0..depth).map(|_| Mutex::new(None)).collect();
+    let deques: Vec<ChunkDeque> = (0..cores).map(|_| ChunkDeque::with_capacity(depth)).collect();
+    let mut core_reports: Vec<WsCoreReport> = Vec::with_capacity(cores);
+    let mut outcome = (0u64, 0u64, None);
+    std::thread::scope(|s| {
+        s.spawn(|| feed_blocks(&mut blocks, &free, &decode_q, &ready_q, &cancel, decoders));
+        for _ in 0..decoders {
+            s.spawn(|| decode_blocks(&decode_q, &ready_q, &free));
+        }
+        let handles: Vec<_> = (0..cores)
+            .map(|id| {
+                let (slots, deques, free, done) = (&slots, &deques, &free, &done);
+                let pt = pt.clone();
+                s.spawn(move || run_stream_core(id, pt, factory, slots, deques, free, done))
+            })
+            .collect();
+        outcome = distribute_chunks(&ready_q, &free, &slots, &deques, &cancel, &done, decoders);
+        for h in handles {
+            // lint: allow(panic) — a worker panic is a simulator bug; propagate it
+            core_reports.push(h.join().expect("streaming worker panicked"));
+        }
+    });
+    let (nblocks, events, err) = outcome;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    core_reports.sort_by_key(|c| c.core);
+    Ok(StreamWsReport {
+        cores: core_reports,
+        events,
+        blocks: nblocks,
+        elapsed: start.elapsed(),
+        pool: pool_stats(&free),
+    })
+}

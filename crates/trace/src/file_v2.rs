@@ -49,8 +49,10 @@ pub(crate) const VERSION: u32 = 2;
 /// Events per block. Deliberately *not* a page-sized count: 2048 events
 /// keep a block's payload in the ten-kilobyte range, small enough that a
 /// checksum failure localizes the damage and a streaming reader never
-/// buffers more than one block of decoded events.
-const BLOCK_EVENTS: usize = 2048;
+/// buffers more than one block of decoded events. Public (re-exported as
+/// `V2_BLOCK_EVENTS`) so streaming consumers can pre-size reusable decode
+/// buffers that never reallocate.
+pub const BLOCK_EVENTS: usize = 2048;
 /// Byte offset of the u64 event count patched after the stream is written.
 const COUNT_OFFSET: u64 = 16;
 /// Per-event cost of the v1 fixed-record encoding, for compression ratios.
@@ -250,16 +252,232 @@ fn decode_event(
     })
 }
 
+/// One framed block of a v2 trace: the raw payload bytes plus the framing
+/// the wire carried (event count, on-wire checksum, 0-based sequence
+/// number within the file).
+///
+/// The internal payload buffer is reused across [`BlockReader::read_block`]
+/// calls, so a fixed pool of `RawBlock`s gives a streaming consumer
+/// zero steady-state allocation: decode of a corpus of any length touches
+/// only O(pool size × block size) resident bytes.
+#[derive(Debug, Default)]
+pub struct RawBlock {
+    count: u64,
+    seq: u64,
+    checksum: u64,
+    payload: Vec<u8>,
+}
+
+impl RawBlock {
+    /// An empty block buffer, ready to be filled by
+    /// [`BlockReader::read_block`].
+    pub fn new() -> RawBlock {
+        RawBlock::default()
+    }
+
+    /// Events framed in this block.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// 0-based sequence number of this block within its file.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Encoded payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Capacity of the reusable payload buffer, for pool accounting.
+    pub fn payload_capacity(&self) -> usize {
+        self.payload.capacity()
+    }
+
+    /// Audits the payload against the on-wire FNV-1a checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on a mismatch.
+    pub fn verify(&self) -> io::Result<()> {
+        if self.checksum != fnv1a(&self.payload) {
+            return Err(invalid("block checksum mismatch (corrupted payload)"));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a framed block into `out` (cleared first, allocation reused),
+/// verifying the checksum before trusting a single byte.
+///
+/// Deltas reset at block boundaries, so any block decodes independently —
+/// this is what lets a pool of decoder workers process blocks out of
+/// order. Decode errors leave `out` cleared (never a partial chunk).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a checksum mismatch, a
+/// malformed event, or trailing garbage after the framed event count.
+pub fn decode_block(block: &RawBlock, out: &mut Vec<TraceEvent>) -> io::Result<()> {
+    out.clear();
+    block.verify()?;
+    let mut pos = 0usize;
+    let mut prev_page = 0u64;
+    let mut prev_pc = 0u64;
+    for _ in 0..block.count {
+        match decode_event(&block.payload, &mut pos, &mut prev_page, &mut prev_pc) {
+            Ok(ev) => out.push(ev),
+            Err(e) => {
+                out.clear();
+                return Err(e);
+            }
+        }
+    }
+    if pos != block.payload.len() {
+        out.clear();
+        return Err(invalid("block payload has trailing garbage"));
+    }
+    Ok(())
+}
+
+/// Block-granular streaming reader for the v2 format: hands out framed,
+/// checksummed payloads one at a time without buffering the whole file.
+///
+/// This is the corpus-scale entry point: [`TraceFileV2`] (whole events,
+/// one block resident) and the `mixtlb-smp` streaming pipeline (a pool of
+/// decoder workers over recycled [`RawBlock`]s) are both built on it.
+/// After the first error the stream should be abandoned; the reader does
+/// not resynchronize inside damaged input.
+#[derive(Debug)]
+pub struct BlockReader {
+    reader: BufReader<File>,
+    total: u64,
+    remaining: u64,
+    next_seq: u64,
+}
+
+impl BlockReader {
+    /// Opens a v2 trace for block-granular streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] if the file is not a v2
+    /// trace (bad magic, wrong version, or short header), or propagates
+    /// I/O errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<BlockReader> {
+        let file = File::open(&path)?;
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(invalid("not a mixtlb trace file (bad magic)"));
+        }
+        let mut word = [0u8; 4];
+        reader.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != VERSION {
+            return Err(invalid(format!(
+                "not a v2 trace (version {version}; use TraceFile for v1 \
+                 or `tracectl convert` to upgrade)"
+            )));
+        }
+        reader.read_exact(&mut word)?; // reserved
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count)?;
+        let total = u64::from_le_bytes(count);
+        Ok(BlockReader {
+            reader,
+            total,
+            remaining: total,
+            next_seq: 0,
+        })
+    }
+
+    /// Total number of events the header promises.
+    pub fn event_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Events the header promises beyond the blocks read so far.
+    pub fn events_remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Blocks handed out so far — equivalently, the sequence number the
+    /// next successful [`Self::read_block`] will assign. A pipeline that
+    /// hits a read error reports this as the damaged block's sequence.
+    pub fn blocks_read(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Reads the next framed block into `block`, reusing its payload
+    /// buffer. Returns `Ok(false)` on a clean end of stream (every
+    /// promised event delivered). The checksum is carried, not audited —
+    /// verification happens in [`decode_block`] / [`RawBlock::verify`],
+    /// wherever the consuming worker runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on truncated framing, a
+    /// count outside the header's promise, or an implausible payload
+    /// length (all before any oversized allocation happens).
+    pub fn read_block(&mut self, block: &mut RawBlock) -> io::Result<bool> {
+        let Some(count) = read_varint_stream(&mut self.reader)? else {
+            if self.remaining == 0 {
+                return Ok(false);
+            }
+            return Err(truncated(self.remaining));
+        };
+        if count == 0 || count > self.remaining {
+            return Err(bad_block_count(count, self.remaining));
+        }
+        // The writer never frames more than BLOCK_EVENTS per block, and
+        // enforcing that here keeps the plausibility arithmetic below free
+        // of overflow: without this cap, a crafted count near u64::MAX / 22
+        // wraps `count * 22` small enough to smuggle an arbitrary
+        // payload_len past the bound and into a giant allocation.
+        if count > BLOCK_EVENTS as u64 {
+            return Err(oversized_block(count));
+        }
+        let Some(payload_len) = read_varint_stream(&mut self.reader)? else {
+            return Err(invalid("block header truncated before payload length"));
+        };
+        // An event encodes to at most 22 bytes (two worst-case 10-byte
+        // zigzag varints plus a 2-byte offset/kind word); a longer claim is
+        // corruption, not a big block.
+        if payload_len > count * 22 + 64 {
+            return Err(implausible_payload(payload_len, count));
+        }
+        block.payload.clear();
+        block.payload.resize(payload_len as usize, 0);
+        self.reader
+            .read_exact(&mut block.payload)
+            .map_err(|_| invalid("block payload truncated"))?;
+        let mut sum = [0u8; 8];
+        self.reader
+            .read_exact(&mut sum)
+            .map_err(|_| invalid("block checksum truncated"))?;
+        block.checksum = u64::from_le_bytes(sum);
+        block.count = count;
+        block.seq = self.next_seq;
+        self.next_seq += 1;
+        self.remaining -= count;
+        Ok(true)
+    }
+}
+
 /// Streaming reader/writer for the compact v2 trace format.
 ///
 /// Iterating yields [`TraceEvent`]s exactly as [`crate::TraceFile`] does
 /// for v1 files, so the two formats are drop-in interchangeable on the
-/// replay side; blocks are checksum-verified as they stream.
+/// replay side; blocks are checksum-verified as they stream. Built on
+/// [`BlockReader`] + [`decode_block`], with one block of decoded events
+/// resident at a time.
 #[derive(Debug)]
 pub struct TraceFileV2 {
-    reader: BufReader<File>,
-    total: u64,
-    remaining: u64,
+    blocks: BlockReader,
+    raw: RawBlock,
     block: Vec<TraceEvent>,
     cursor: usize,
     /// Set after the first decode error; iteration ends rather than
@@ -320,30 +538,9 @@ impl TraceFileV2 {
     /// trace (bad magic, wrong version, or short header), or propagates
     /// I/O errors.
     pub fn open(path: impl AsRef<Path>) -> io::Result<TraceFileV2> {
-        let file = File::open(&path)?;
-        let mut reader = BufReader::new(file);
-        let mut magic = [0u8; 8];
-        reader.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(invalid("not a mixtlb trace file (bad magic)"));
-        }
-        let mut word = [0u8; 4];
-        reader.read_exact(&mut word)?;
-        let version = u32::from_le_bytes(word);
-        if version != VERSION {
-            return Err(invalid(format!(
-                "not a v2 trace (version {version}; use TraceFile for v1 \
-                 or `tracectl convert` to upgrade)"
-            )));
-        }
-        reader.read_exact(&mut word)?; // reserved
-        let mut count = [0u8; 8];
-        reader.read_exact(&mut count)?;
-        let total = u64::from_le_bytes(count);
         Ok(TraceFileV2 {
-            reader,
-            total,
-            remaining: total,
+            blocks: BlockReader::open(path)?,
+            raw: RawBlock::new(),
             block: Vec::new(),
             cursor: 0,
             poisoned: false,
@@ -352,60 +549,16 @@ impl TraceFileV2 {
 
     /// Total number of events the header promises.
     pub fn event_count(&self) -> u64 {
-        self.total
+        self.blocks.event_count()
     }
 
     /// Loads and verifies the next block into the decode buffer.
     fn load_block(&mut self) -> io::Result<bool> {
-        let Some(count) = read_varint_stream(&mut self.reader)? else {
-            if self.remaining == 0 {
-                return Ok(false);
-            }
-            return Err(truncated(self.remaining));
-        };
-        if count == 0 || count > self.remaining {
-            return Err(bad_block_count(count, self.remaining));
+        if !self.blocks.read_block(&mut self.raw)? {
+            return Ok(false);
         }
-        // The writer never frames more than BLOCK_EVENTS per block, and
-        // enforcing that here keeps the plausibility arithmetic below free
-        // of overflow: without this cap, a crafted count near u64::MAX / 22
-        // wraps `count * 22` small enough to smuggle an arbitrary
-        // payload_len past the bound and into a giant allocation.
-        if count > BLOCK_EVENTS as u64 {
-            return Err(oversized_block(count));
-        }
-        let Some(payload_len) = read_varint_stream(&mut self.reader)? else {
-            return Err(invalid("block header truncated before payload length"));
-        };
-        // An event encodes to at most 22 bytes (two worst-case 10-byte
-        // zigzag varints plus a 2-byte offset/kind word); a longer claim is
-        // corruption, not a big block.
-        if payload_len > count * 22 + 64 {
-            return Err(implausible_payload(payload_len, count));
-        }
-        let mut payload = vec![0u8; payload_len as usize];
-        self.reader
-            .read_exact(&mut payload)
-            .map_err(|_| invalid("block payload truncated"))?;
-        let mut sum = [0u8; 8];
-        self.reader
-            .read_exact(&mut sum)
-            .map_err(|_| invalid("block checksum truncated"))?;
-        if u64::from_le_bytes(sum) != fnv1a(&payload) {
-            return Err(invalid("block checksum mismatch (corrupted payload)"));
-        }
-        self.block.clear();
+        decode_block(&self.raw, &mut self.block)?;
         self.cursor = 0;
-        let mut pos = 0usize;
-        let mut prev_page = 0u64;
-        let mut prev_pc = 0u64;
-        for _ in 0..count {
-            self.block
-                .push(decode_event(&payload, &mut pos, &mut prev_page, &mut prev_pc)?);
-        }
-        if pos != payload.len() {
-            return Err(invalid("block payload has trailing garbage"));
-        }
         Ok(true)
     }
 }
@@ -447,7 +600,6 @@ impl Iterator for TraceFileV2 {
         }
         let ev = self.block[self.cursor];
         self.cursor += 1;
-        self.remaining = self.remaining.saturating_sub(1);
         Some(Ok(ev))
     }
 }

@@ -43,7 +43,10 @@ mod percore;
 mod workloads;
 
 pub use file::TraceFile;
-pub use file_v2::{probe_version, v1_equivalent_bytes, TraceFileV2};
+pub use file_v2::{
+    decode_block, probe_version, v1_equivalent_bytes, BlockReader, RawBlock, TraceFileV2,
+    BLOCK_EVENTS as V2_BLOCK_EVENTS,
+};
 pub use generator::{TraceEvent, TraceGenerator};
 pub use percore::{split_partitioned, split_shared, CoreStream};
 pub use workloads::{AccessPattern, WorkloadClass, WorkloadSpec};

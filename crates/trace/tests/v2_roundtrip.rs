@@ -108,6 +108,71 @@ proptest! {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// The same truncation sweep through the streaming block interface
+    /// ([`BlockReader`] + [`decode_block`]) the pipeline consumes: every
+    /// event delivered before the damage surfaces must be an exact
+    /// prefix of the original stream (block granular — a damaged block
+    /// contributes nothing), the failure must be a clean
+    /// `InvalidData`, and an uncut file must stream back in full with
+    /// `events_remaining()` reaching zero.
+    #[test]
+    fn block_reader_truncation_yields_an_exact_prefix(
+        events in proptest::collection::vec(event_strategy(), 1..5000),
+        cut_fraction in 0.0f64..1.0,
+        keep_all in any::<bool>(),
+        case in 0u32..u32::MAX,
+    ) {
+        use mixtlb_trace::{decode_block, BlockReader, RawBlock};
+
+        let path = temp(&format!("blk-trunc-{case}"));
+        TraceFileV2::record(&path, events.iter().copied()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let min = 24usize.min(bytes.len().saturating_sub(1));
+        let cut = if keep_all {
+            bytes.len() // uncut: the clean full-stream case
+        } else {
+            min + ((bytes.len() - min) as f64 * cut_fraction) as usize
+        };
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        match BlockReader::open(&path) {
+            Err(_) => {} // header itself chopped: clean error at open
+            Ok(mut blocks) => {
+                let mut raw = RawBlock::default();
+                let mut chunk: Vec<TraceEvent> = Vec::new();
+                let mut streamed: Vec<TraceEvent> = Vec::new();
+                let mut error = None;
+                loop {
+                    match blocks.read_block(&mut raw) {
+                        Ok(true) => {}
+                        Ok(false) => break,
+                        Err(e) => { error = Some(e); break; }
+                    }
+                    match decode_block(&raw, &mut chunk) {
+                        Ok(()) => streamed.extend_from_slice(&chunk),
+                        Err(e) => {
+                            prop_assert!(chunk.is_empty(), "failed decode must not leave a partial chunk");
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                prop_assert!(streamed.len() <= events.len());
+                prop_assert_eq!(&streamed[..], &events[..streamed.len()],
+                    "streamed events must be an exact prefix");
+                match error {
+                    Some(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+                    None => {
+                        // Clean end: only legal when nothing was lost.
+                        prop_assert_eq!(streamed.len(), events.len());
+                        prop_assert_eq!(blocks.events_remaining(), 0);
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
     /// Truncation landing *exactly* on a block boundary is the nastiest
     /// cut: every byte the reader sees is self-consistent (whole blocks,
     /// valid checksums), so only the header's event count can expose the
