@@ -14,15 +14,15 @@ use crate::predictor::SizePredictor;
 use crate::skew::{SkewTlb, SkewTlbConfig};
 
 fn probe_order(predicted: PageSize) -> [PageSize; 3] {
-    let mut order = [predicted; 3];
-    let mut i = 1;
-    for size in PageSize::ALL {
-        if size != predicted {
-            order[i] = size;
-            i += 1;
-        }
-    }
-    order
+    // Exactly two of the three sizes survive the filter, so the
+    // fallbacks never fire; they exist to keep this allocation- and
+    // panic-free.
+    let mut rest = PageSize::ALL.into_iter().filter(|&s| s != predicted);
+    [
+        predicted,
+        rest.next().unwrap_or(predicted),
+        rest.next().unwrap_or(predicted),
+    ]
 }
 
 macro_rules! predictive_tlb {

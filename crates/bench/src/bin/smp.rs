@@ -20,8 +20,9 @@
 //! Flags (stress mode): `--cores N`, `--spaces M` (default 100_000),
 //! `--accesses-per-space K`, `--asid-capacity C` (default 4096, the full
 //! 12-bit space), `--refs R` (machine replay length per core),
-//! `--chunk-events E` (work-stealing chunk size). Numbers may use `_`
-//! separators.
+//! `--chunk-events E` (work-stealing chunk size), `--decoders D` (decode
+//! threads of the streamed corpus replay, default 1). Numbers may use
+//! `_` separators.
 
 #![forbid(unsafe_code)]
 
@@ -30,8 +31,8 @@ use mixtlb_cache::SharedCacheConfig;
 use mixtlb_perf::{corpus_path, default_corpus_dir, load_events, prepare_scenario};
 use mixtlb_sim::designs;
 use mixtlb_smp::{
-    replay_parallel, run_asid_stress, MultiProgrammedScenario, ShootdownModel, SmpReport,
-    SmpScenarioConfig, StressConfig, WsConfig,
+    replay_parallel, run_asid_stress, stream_replay_ws, MultiProgrammedScenario, ShootdownModel,
+    SmpReport, SmpScenarioConfig, StreamConfig, StressConfig, WsConfig,
 };
 use mixtlb_types::PageSize;
 
@@ -131,8 +132,10 @@ fn speedup(scenario: &MultiProgrammedScenario, refs: u64) -> (SmpReport, SmpRepo
     (par.run_parallel(refs), ser.run_serial(refs))
 }
 
-/// Work-stealing replay of the pinned gups corpus across `cores` workers.
-fn ws_corpus_replay(cores: usize, chunk_events: usize) {
+/// Work-stealing replay of the pinned gups corpus across `cores`
+/// workers — once from a fully buffered decode, once streamed through
+/// the decode→translate pipeline with `decoders` decode threads.
+fn ws_corpus_replay(cores: usize, chunk_events: usize, decoders: usize) {
     let path = corpus_path(&default_corpus_dir(), "gups");
     let events = match load_events(&path) {
         Ok(ev) => ev,
@@ -159,6 +162,19 @@ fn ws_corpus_replay(cores: usize, chunk_events: usize) {
         report.total_steals(),
         busy,
     );
+    let stream_cfg = StreamConfig::threaded(decoders, 8);
+    match stream_replay_ws(&path, &pt, designs::mix, cores, &stream_cfg) {
+        Ok(s) => {
+            let meps = s.events as f64 / s.elapsed.as_secs_f64().max(1e-9) / 1e6;
+            println!(
+                "[ws] streamed: {} blocks via {} decoder(s): {meps:.2} M events/s, {} stolen",
+                s.blocks,
+                decoders,
+                s.total_steals(),
+            );
+        }
+        Err(e) => println!("[ws] streamed replay failed ({e}); skipping"),
+    }
 }
 
 /// The many-core stress: ASID rollover at scale plus eager-vs-epoch
@@ -169,7 +185,7 @@ fn stress(args: &StressArgs) {
         args.cores, args.spaces, args.asid_capacity
     );
 
-    ws_corpus_replay(args.cores, args.chunk_events);
+    ws_corpus_replay(args.cores, args.chunk_events, args.decoders);
 
     let mut cfg = StressConfig::new(args.cores, args.spaces);
     cfg.accesses_per_space = args.accesses_per_space;
@@ -235,6 +251,7 @@ struct StressArgs {
     asid_capacity: u16,
     refs: u64,
     chunk_events: usize,
+    decoders: usize,
 }
 
 /// Parses `1_000_000`-style numbers.
@@ -254,6 +271,7 @@ fn parse_args() -> Option<StressArgs> {
         asid_capacity: 4096,
         refs: 2_000,
         chunk_events: 1_024,
+        decoders: 1,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -263,6 +281,7 @@ fn parse_args() -> Option<StressArgs> {
             "--asid-capacity" => out.asid_capacity = parse_num(&flag, args.next()) as u16,
             "--refs" => out.refs = parse_num(&flag, args.next()),
             "--chunk-events" => out.chunk_events = parse_num(&flag, args.next()) as usize,
+            "--decoders" => out.decoders = (parse_num(&flag, args.next()) as usize).max(1),
             other => panic!("unknown flag {other:?} (see the module docs for usage)"),
         }
     }
@@ -292,7 +311,7 @@ fn main() {
 
     // Work-stealing corpus replay on the host's cores.
     let host_cores = std::thread::available_parallelism().map_or(4, |n| n.get());
-    ws_corpus_replay(host_cores.min(8), 1_024);
+    ws_corpus_replay(host_cores.min(8), 1_024, 1);
 
     // Replay-throughput speedup of the simulator itself.
     let (par, ser) = speedup(&gups4, refs);

@@ -51,6 +51,52 @@ pub fn fingerprint(rule: &str, path: &str, line_text: &str, occurrence: usize) -
     format!("{:016x}", fnv1a(key.as_bytes()))
 }
 
+/// Two distinct findings whose keys hash to the same FNV-1a
+/// fingerprint.
+///
+/// Occurrence indexing makes every fingerprint *key* unique by
+/// construction, so equal fingerprints always mean a genuine hash
+/// collision — and baselining one of the two findings would silently
+/// suppress the other. The analyzer refuses to apply or rewrite a
+/// baseline until the collision is resolved (editing either offending
+/// line changes its key and breaks the tie).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintCollision {
+    /// The shared 64-bit fingerprint (hex).
+    pub fingerprint: String,
+    /// Rendered form of the first colliding finding.
+    pub first: String,
+    /// Rendered form of the second colliding finding.
+    pub second: String,
+}
+
+impl std::fmt::Display for FingerprintCollision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fingerprint {} identifies two distinct findings:\n  {}\n  {}\n\
+             baselining either would silently suppress the other; edit one \
+             of the offending lines to break the hash tie",
+            self.fingerprint, self.first, self.second
+        )
+    }
+}
+
+/// Scans live findings for a fingerprint shared by two of them.
+pub fn find_collision(findings: &[Finding]) -> Option<FingerprintCollision> {
+    let mut seen: std::collections::HashMap<&str, &Finding> = std::collections::HashMap::new();
+    for f in findings {
+        if let Some(prev) = seen.insert(f.fingerprint.as_str(), f) {
+            return Some(FingerprintCollision {
+                fingerprint: f.fingerprint.clone(),
+                first: prev.to_string(),
+                second: f.to_string(),
+            });
+        }
+    }
+    None
+}
+
 /// The set of accepted (baselined) findings.
 #[derive(Debug, Default, Clone)]
 pub struct Baseline {
@@ -189,5 +235,43 @@ mod tests {
     #[test]
     fn escaping() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    fn finding(rule: &'static str, line: usize, fp: &str) -> Finding {
+        Finding {
+            rule,
+            path: PathBuf::from("crates/x/src/a.rs"),
+            line,
+            message: format!("seeded finding at line {line}"),
+            fingerprint: fp.to_owned(),
+        }
+    }
+
+    /// A crafted collision: two distinct findings carrying the same
+    /// 64-bit fingerprint (the occurrence index makes this impossible
+    /// except through a genuine FNV-1a hash collision, which is what
+    /// the detector exists for).
+    #[test]
+    fn crafted_collision_is_detected_and_named() {
+        let live = vec![
+            finding("addr-arith", 10, "00000000deadbeef"),
+            finding("bare-unwrap", 20, "00000000c0ffee00"),
+            finding("tag-range", 30, "00000000deadbeef"),
+        ];
+        let c = find_collision(&live).expect("collision must be found");
+        assert_eq!(c.fingerprint, "00000000deadbeef");
+        assert!(c.first.contains("a.rs:10"), "{c}");
+        assert!(c.second.contains("a.rs:30"), "{c}");
+        let msg = c.to_string();
+        assert!(msg.contains("silently suppress"), "{msg}");
+    }
+
+    #[test]
+    fn distinct_fingerprints_do_not_collide() {
+        let live = vec![
+            finding("addr-arith", 10, "00000000deadbeef"),
+            finding("addr-arith", 11, "00000000deadbef0"),
+        ];
+        assert_eq!(find_collision(&live), None);
     }
 }

@@ -569,8 +569,9 @@ pub(crate) fn lockset_race(
     }
 }
 
-/// Entry-lockset propagation (step 3 of the module docs).
-fn entry_locksets(
+/// Entry-lockset propagation (step 3 of the module docs). Shared with
+/// the `blocking-in-lock` rule, which feeds it its own call sites.
+pub(crate) fn entry_locksets(
     files: &[ParsedFile],
     graph: &CallGraph,
     cond: &Condensation,

@@ -6,8 +6,11 @@
 //! whose output builds a workspace symbol table ([`symbols`]) and a
 //! crate-level call graph ([`callgraph`]). The call graph additionally
 //! feeds an interprocedural dataflow layer ([`dataflow`]: SCC
-//! condensation + lockset lattice) for the concurrency rules. Nine
-//! semantic rules run on top:
+//! condensation + lockset lattice) for the concurrency rules, and a
+//! value-range abstract-interpretation layer ([`absint`]: interval +
+//! known-bits domain with widened joins and interprocedural return/
+//! parameter summaries) for the bit-geometry rules. Thirteen semantic
+//! rules run on top:
 //!
 //! | rule | checks | scope |
 //! |------|--------|-------|
@@ -20,6 +23,10 @@
 //! | `lockset-race` | shared plain fields written under a consistent non-empty lockset ([`lockset`]) | lib, except `crates/check` |
 //! | `atomic-ordering` | no release-free publication / split RMW over atomics ([`atomics`]) | lib, except `crates/check` |
 //! | `hot-path` | no allocation/clone/formatting reachable from the hot loops ([`dataflow::hot_path`]) | lib, except `crates/check` |
+//! | `bit-pack-overflow` | shift-or packings have disjoint fields that fit the carrier ([`absint`]) | lib |
+//! | `tag-range` | values into `// bits: N`-annotated constructors fit the declared width ([`absint`]) | lib |
+//! | `index-bound` | indices into fixed-capacity arrays provably in bounds ([`absint`]) | lib |
+//! | `blocking-in-lock` | no semaphore/event/bounded-queue wait while a `Mutex` is held ([`blocking`]) | lib, except `crates/check` |
 //!
 //! Unlike the lint pass there are **no inline suppression markers**:
 //! accepted findings live in one committed baseline file
@@ -28,8 +35,10 @@
 //! its git history. CI runs `--analyze` and fails on any finding not in
 //! the baseline.
 
+pub(crate) mod absint;
 pub(crate) mod atomics;
 pub(crate) mod baseline;
+pub(crate) mod blocking;
 pub(crate) mod callgraph;
 pub(crate) mod dataflow;
 pub(crate) mod lexer;
@@ -48,11 +57,11 @@ use std::path::{Path, PathBuf};
 use crate::lint::{classify, collect_rs_files, FileKind};
 use outline::{DeclKind, ParsedFile, Vis};
 
-pub use baseline::{fingerprint, Baseline};
+pub use baseline::{find_collision, fingerprint, Baseline, FingerprintCollision};
 pub use sarif::{to_json, to_sarif};
 
 /// All analysis rule identifiers (order is the report order).
-pub const ANALYSIS_RULES: [&str; 9] = [
+pub const ANALYSIS_RULES: [&str; 13] = [
     "addr-arith",
     "truncating-cast",
     "dead-code",
@@ -62,6 +71,10 @@ pub const ANALYSIS_RULES: [&str; 9] = [
     "lockset-race",
     "atomic-ordering",
     "hot-path",
+    "bit-pack-overflow",
+    "tag-range",
+    "index-bound",
+    "blocking-in-lock",
 ];
 
 /// One input file for [`analyze_sources`].
@@ -122,6 +135,17 @@ pub struct AnalysisStats {
     pub sccs: usize,
     /// Functions reachable from the hot-path roots.
     pub hot_fns: usize,
+    /// Functions with a non-trivial abstract return-value summary.
+    pub summarized_fns: usize,
+    /// Wall time of the shared abstract-interpretation phase (constant
+    /// pool + interprocedural value summaries), ns.
+    pub absint_nanos: u128,
+    /// Per-rule wall time of the value-rule passes, ns, in
+    /// [`ANALYSIS_RULES`] order: bit-pack-overflow, tag-range,
+    /// index-bound.
+    pub value_rule_nanos: [u128; 3],
+    /// Wall time of the blocking-in-lock rule, ns.
+    pub blocking_nanos: u128,
     /// Wall time of the (parallel) per-file lex/outline phase, ns.
     pub parse_nanos: u128,
     /// Wall time of symbol/graph construction plus all rules, ns.
@@ -153,7 +177,19 @@ impl AnalysisReport {
 
     /// Removes findings whose fingerprints the baseline accepts,
     /// recording how many were suppressed (total and per rule).
-    pub fn apply_baseline(&mut self, baseline: &Baseline) {
+    ///
+    /// # Errors
+    ///
+    /// Refuses to suppress anything when two distinct live findings
+    /// hash to one fingerprint — a baseline entry for that fingerprint
+    /// would silently swallow both (see [`FingerprintCollision`]).
+    pub fn apply_baseline(
+        &mut self,
+        baseline: &Baseline,
+    ) -> Result<(), FingerprintCollision> {
+        if let Some(c) = baseline::find_collision(&self.findings) {
+            return Err(c);
+        }
         let before = self.findings.len();
         self.findings.retain(|f| {
             let keep = !baseline.contains(&f.fingerprint);
@@ -166,6 +202,7 @@ impl AnalysisReport {
             keep
         });
         self.baselined += before - self.findings.len();
+        Ok(())
     }
 }
 
@@ -256,6 +293,27 @@ pub fn analyze_sources(sources: &[SourceFile]) -> AnalysisReport {
     }
     let (hot_findings, hot_fns) = dataflow::hot_path(&parsed, &graph);
     for (fi, f) in hot_findings {
+        raw.push((fi, f.rule, f.line as usize, f.message));
+    }
+
+    // Value-range rules (bit-pack-overflow / tag-range / index-bound)
+    // and the blocking-in-lock deadlock rule.
+    let value = absint::value_rules(&parsed, &graph);
+    for (fi, f) in value.findings {
+        raw.push((fi, f.rule, f.line as usize, f.message));
+    }
+    let mut value_rule_nanos = [0u128; 3];
+    for (rule, ns) in &value.rule_nanos {
+        let slot = match *rule {
+            "bit-pack-overflow" => 0,
+            "tag-range" => 1,
+            _ => 2,
+        };
+        value_rule_nanos[slot] = *ns;
+    }
+    let blocking = blocking::blocking_in_lock(&parsed, &graph);
+    let blocking_nanos = blocking.nanos;
+    for (fi, f) in blocking.findings {
         raw.push((fi, f.rule, f.line as usize, f.message));
     }
 
@@ -403,6 +461,10 @@ pub fn analyze_sources(sources: &[SourceFile]) -> AnalysisReport {
             shared_structs: lockset_result.shared_structs,
             sccs: lockset_result.sccs,
             hot_fns,
+            summarized_fns: value.summarized_fns,
+            absint_nanos: value.absint_nanos,
+            value_rule_nanos,
+            blocking_nanos,
             parse_nanos,
             rules_nanos: rules_started.elapsed().as_nanos(),
         },
@@ -485,7 +547,9 @@ mod tests {
         let mut report = analyze_sources(&files);
         assert_eq!(report.findings.len(), 1);
         let accepted = Baseline::parse(&Baseline::render(&report.findings));
-        report.apply_baseline(&accepted);
+        report
+            .apply_baseline(&accepted)
+            .expect("occurrence-indexed fingerprints cannot collide here");
         assert!(report.is_clean());
         assert_eq!(report.baselined, 1);
     }

@@ -54,6 +54,25 @@ fn rule_description(rule: &str) -> &'static str {
             "Heap allocation, clone(), or formatting machinery reachable \
              from the batched-translation/replay hot loops."
         }
+        "bit-pack-overflow" => {
+            "Shift-or bit packing whose field value ranges overlap or \
+             escape the carrier width (interval + known-bits abstract \
+             interpretation)."
+        }
+        "tag-range" => {
+            "Value flowing into a `// bits: N`-annotated constructor may \
+             exceed the declared bit width; mask or use the checked \
+             constructor."
+        }
+        "index-bound" => {
+            "Index into fixed-capacity array storage not provably within \
+             capacity; mask, mod, or bound-check the index."
+        }
+        "blocking-in-lock" => {
+            "Semaphore/event wait or bounded-queue push/pop reachable \
+             while a Mutex lockset is non-empty; drop the guard before \
+             blocking."
+        }
         _ => "mixtlb-check analysis rule.",
     }
 }
@@ -108,7 +127,7 @@ pub fn to_json(report: &AnalysisReport) -> String {
         ));
     }
     out.push_str(&format!(
-        "\n  ],\n  \"stats\": {{ \"files\": {}, \"functions\": {}, \"symbols\": {}, \"call_edges\": {}, \"structs\": {}, \"shared_structs\": {}, \"sccs\": {}, \"hot_fns\": {}, \"lock_edges\": {}, \"baselined\": {} }}\n}}\n",
+        "\n  ],\n  \"stats\": {{ \"files\": {}, \"functions\": {}, \"symbols\": {}, \"call_edges\": {}, \"structs\": {}, \"shared_structs\": {}, \"sccs\": {}, \"hot_fns\": {}, \"summarized_fns\": {}, \"lock_edges\": {}, \"baselined\": {} }}\n}}\n",
         report.stats.files,
         report.stats.functions,
         report.stats.symbols,
@@ -117,6 +136,7 @@ pub fn to_json(report: &AnalysisReport) -> String {
         report.stats.shared_structs,
         report.stats.sccs,
         report.stats.hot_fns,
+        report.stats.summarized_fns,
         report.lock_edges.len(),
         report.baselined
     ));

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mixtlb-check --lint [ROOT]     # token-level workspace lint pass
-//! mixtlb-check --analyze [ROOT]  # structural static analysis (9 semantic rules)
+//! mixtlb-check --analyze [ROOT]  # structural static analysis (13 semantic rules)
 //!               [--format text|json|sarif] [--baseline PATH]
 //!               [--update-baseline] [--locks] [--stats]
 //! mixtlb-check --model           # bounded model-check of the shootdown protocol
@@ -115,6 +115,10 @@ fn run_analyze(args: &[String]) -> ExitCode {
     };
 
     if update_baseline {
+        if let Some(c) = analysis::find_collision(&report.findings) {
+            eprintln!("analyze: refusing to update the baseline: {c}");
+            return ExitCode::from(2);
+        }
         if let Err(e) = analysis::Baseline::write(&baseline_path, &report.findings) {
             eprintln!("analyze: cannot write {}: {e}", baseline_path.display());
             return ExitCode::from(2);
@@ -134,7 +138,10 @@ fn run_analyze(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    report.apply_baseline(&baseline);
+    if let Err(c) = report.apply_baseline(&baseline) {
+        eprintln!("analyze: {c}");
+        return ExitCode::from(2);
+    }
 
     match format.as_str() {
         "json" => print!("{}", analysis::to_json(&report)),
@@ -195,9 +202,20 @@ fn print_stats(report: &analysis::AnalysisReport) {
         report.stats.hot_fns
     );
     println!(
-        "analyze: wall time: parse {:.1} ms, rules {:.1} ms",
+        "analyze: abstract interpretation: {} value-summarized fn(s)",
+        report.stats.summarized_fns
+    );
+    println!(
+        "analyze: wall time: parse {:.1} ms, rules {:.1} ms, absint {:.1} ms \
+         (bit-pack-overflow {:.1} ms, tag-range {:.1} ms, index-bound {:.1} ms, \
+         blocking-in-lock {:.1} ms)",
         report.stats.parse_nanos as f64 / 1e6,
-        report.stats.rules_nanos as f64 / 1e6
+        report.stats.rules_nanos as f64 / 1e6,
+        report.stats.absint_nanos as f64 / 1e6,
+        report.stats.value_rule_nanos[0] as f64 / 1e6,
+        report.stats.value_rule_nanos[1] as f64 / 1e6,
+        report.stats.value_rule_nanos[2] as f64 / 1e6,
+        report.stats.blocking_nanos as f64 / 1e6
     );
 }
 

@@ -245,6 +245,153 @@ fn hot_path_fixture_pair() {
     assert_eq!(rules_fired(&clean), [] as [&str; 0]);
 }
 
+#[test]
+fn bit_pack_overflow_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/bit_pack_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["bit-pack-overflow"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings.len() >= 3,
+        "slot overflow (via the kind_code summary), field overlap, and \
+         carrier escape must all fire: {:?}",
+        report.findings
+    );
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("overlapping bit")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("slot is only")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("64-bit carrier")),
+        "{msgs:?}"
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/bit_pack_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn tag_range_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/tag_range_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["tag-range"]);
+    let report = analyze(&dirty);
+    assert!(report.findings.len() >= 2, "{:?}", report.findings);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("`Vmid`") && m.contains("bits: 12")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("possibly-negative")),
+        "{msgs:?}"
+    );
+    // Mask, checked-constructor branch, and full-width modulo wrap all
+    // prove the range.
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/tag_range_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn index_bound_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/index_bound_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["index-bound"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings.len() >= 3,
+        "the off-by-one modulo, the unbounded hash, and the local-table \
+         slip must all fire: {:?}",
+        report.findings
+    );
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("may escape fixed 8-slot")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("not provably in bounds")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("3-slot")),
+        "{msgs:?}"
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/index_bound_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+#[test]
+fn blocking_in_lock_fixture_pair() {
+    let dirty = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/blocking_dirty.rs"),
+    )];
+    assert_eq!(rules_fired(&dirty), ["blocking-in-lock"]);
+    let report = analyze(&dirty);
+    assert!(
+        report.findings.len() >= 3,
+        "the direct semaphore wait, the push through the private helper, \
+         and the permit acquire under the read lock must all fire: {:?}",
+        report.findings
+    );
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains(".wait()")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("enqueue")),
+        "the call into the blocking helper must be flagged at the locked \
+         call site: {msgs:?}"
+    );
+    let clean = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/blocking_clean.rs"),
+    )];
+    assert_eq!(rules_fired(&clean), [] as [&str; 0]);
+}
+
+/// The shipped pre-PR-8 bug, shape-for-shape: `Asid::new(id as u16 + 1)`
+/// plus the unmasked 16-bit tag packed at bit 52. The value rules this
+/// PR adds must catch both halves — the whole motivation for the layer.
+#[test]
+fn pre_pr8_asid_overflow_regression_is_flagged() {
+    let sources = [lib(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/analysis/asid_overflow_regression.rs"),
+    )];
+    assert_eq!(rules_fired(&sources), ["bit-pack-overflow", "tag-range"]);
+    let report = analyze(&sources);
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`Asid`") && m.contains("65536")),
+        "the truncated-and-offset id must be flagged at the constructor \
+         call: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("64-bit carrier")),
+        "the unmasked tag in the entry packing must be flagged: {msgs:?}"
+    );
+}
+
 /// The per-file parse fans out across worker threads; findings must
 /// nevertheless come back in deterministic (file, line) order. Analyze
 /// the same multi-file, multi-rule workload repeatedly and require
@@ -322,7 +469,9 @@ fn workspace_is_analysis_clean() {
         mixtlb_check::analysis::analyze_workspace(&root).expect("walk workspace");
     let baseline =
         Baseline::load(&root.join("check-baseline.json")).expect("read baseline");
-    report.apply_baseline(&baseline);
+    report
+        .apply_baseline(&baseline)
+        .expect("no fingerprint collisions in the workspace findings");
     assert!(
         report.is_clean(),
         "non-baselined analysis findings:\n{}",
@@ -347,5 +496,13 @@ fn workspace_is_analysis_clean() {
     assert!(
         report.stats.hot_fns > 20,
         "translate_batch/SmpCore::run should reach a real call-graph slice"
+    );
+    // The abstract interpreter must be summarizing a real slice of the
+    // workspace (79 functions at the time of writing), not bailing out
+    // to `Top` everywhere.
+    assert!(
+        report.stats.summarized_fns > 40,
+        "value summaries collapsed: only {} functions summarized",
+        report.stats.summarized_fns
     );
 }

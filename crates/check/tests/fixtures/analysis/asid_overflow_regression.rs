@@ -1,0 +1,30 @@
+//! Regression fixture: the exact pre-PR-8 SMP core-id mapping. The
+//! caller truncated and offset an unbounded id straight into the
+//! asserting constructor — silent truncation past 65535 and a panic at
+//! id 4095 — and the companion entry packing let the unmasked 16-bit
+//! tag bleed past the 64-bit carrier. `tag-range` must flag the
+//! constructor call and `bit-pack-overflow` the packing.
+
+/// The 12-bit hardware tag, as `mixtlb-types` declares it.
+// bits: 12
+struct Asid(u16);
+
+impl Asid {
+    /// The pre-PR-8 constructor: asserts instead of wrapping.
+    fn new(raw: u16) -> Asid {
+        assert!(raw < 4096, "ASID out of the 12-bit PCID range");
+        Asid(raw)
+    }
+}
+
+/// The shipped bug, shape-for-shape: `id as u16 + 1` reaches 65536
+/// before the 12-bit check, so ids past 4094 panic or alias.
+fn asid_for_core(id: usize) -> Asid {
+    Asid::new(id as u16 + 1)
+}
+
+/// The companion packing: a 16-bit tag shifted to bit 52 reaches bit
+/// 67 — past the `u64` carrier — unless it is masked to 12 bits first.
+fn entry_key(asid: u16, vpn: u64) -> u64 {
+    ((asid as u64) << 52) | (vpn & 0xFFF_FFFF)
+}

@@ -1,0 +1,20 @@
+//! Clean fixture for `bit-pack-overflow`: the same packings with every
+//! field masked or asserted into its slot, plus the flag-union shape
+//! the rule must not mistake for a packing.
+
+/// Each field is masked to its slot before packing; the open-ended PFN
+/// payload rides in the top slot.
+fn pack_entry(pfn: u64, kind: u64) -> u64 {
+    (pfn << 6) | (kind & 0x3F)
+}
+
+/// An assert bounds the tag just as well as a mask does.
+fn pack_asserted(base: u64, code: u64) -> u64 {
+    assert!(code < 16, "code overflows its 4-bit slot");
+    (base << 4) | code
+}
+
+/// A plain flag union has a single shift position — not a packing.
+fn flag_union(flags: u64) -> u64 {
+    flags | 0x1 | 0x2
+}

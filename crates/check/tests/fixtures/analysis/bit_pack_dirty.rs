@@ -1,0 +1,31 @@
+//! Dirty fixture for `bit-pack-overflow`: three seeded packing bugs —
+//! a field wider than its slot (through an interprocedural return
+//! summary), two fields with overlapping bit ranges, and a shifted
+//! field that reaches past the 64-bit carrier.
+
+/// Returns a 6-bit kind code — the summary `[0, 63]` flows into the
+/// packing below.
+fn kind_code(raw: u64) -> u64 {
+    raw & 0x3F
+}
+
+/// BUG 1: the kind code needs 6 bits but the slot below the PFN shift
+/// is only 4 bits wide, so kinds 16..=63 corrupt the PFN.
+fn pack_entry(pfn: u64) -> u64 {
+    (pfn << 4) | kind_code(pfn)
+}
+
+/// BUG 2: the shifted code occupies bits 2..=5 and the low field bits
+/// 0..=2 — the or corrupts both at bit 2.
+fn pack_overlapping(code: u64, low: u64) -> u64 {
+    let c = code & 0xF;
+    let l = low & 0x7;
+    (c << 2) | l
+}
+
+/// BUG 3: a 5-bit generation shifted to bit 60 reaches bit 64 — past
+/// the end of the `u64` carrier.
+fn stale_key(generation: u64, frame: u64) -> u64 {
+    let g = generation & 0x1F;
+    (g << 60) | (frame & 0xFFF)
+}

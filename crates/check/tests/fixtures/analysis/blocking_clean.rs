@@ -1,0 +1,42 @@
+//! Clean fixture for `blocking-in-lock`: every blocking call happens
+//! with an empty lockset — the guard's scope ends first, the lock is
+//! statement-scoped, or no lock is ever taken near the queue.
+
+use std::sync::Mutex;
+
+struct Pipeline {
+    feed: BoundedQueue<u64>,
+}
+
+/// The wait happens after the guard's block ends.
+fn refill(state: &Mutex<u64>, slots: &Semaphore) {
+    {
+        let g = state.lock();
+        let _ = g;
+    }
+    slots.wait();
+}
+
+impl Pipeline {
+    /// The lock protects only the counter bump; the push runs unlocked.
+    fn publish(&self, table: &Mutex<u64>, item: u64) {
+        {
+            let g = table.lock();
+            let _ = g;
+        }
+        self.feed.push(item);
+    }
+}
+
+/// A statement-expression lock is released at the `;` and does not pin
+/// the lockset over the wait.
+fn bump(state: &Mutex<u64>, slots: &Semaphore) {
+    *state.lock() += 1;
+    slots.wait();
+}
+
+/// Draining a queue parameter with no lock in sight is the normal
+/// consumer loop.
+fn drain(q: &BoundedQueue<u64>) -> u64 {
+    q.pop()
+}

@@ -1,0 +1,39 @@
+//! Dirty fixture for `blocking-in-lock`: a semaphore wait under a held
+//! `Mutex`, a bounded-queue push reached through a private helper with
+//! the table lock held, and a permit acquire under a read lock.
+
+use std::sync::{Mutex, RwLock};
+
+struct Pipeline {
+    feed: BoundedQueue<u64>,
+}
+
+/// BUG 1: waits on the semaphore while the state lock is held — the
+/// signalling side may need the same lock to make progress.
+fn refill(state: &Mutex<u64>, slots: &Semaphore) {
+    let g = state.lock();
+    slots.wait();
+    let _ = g;
+}
+
+impl Pipeline {
+    /// Blocks when the queue is full.
+    fn enqueue(&self, item: u64) {
+        self.feed.push(item);
+    }
+
+    /// BUG 2: the blocking push is reached with the table lock held —
+    /// only through the private helper above.
+    fn publish(&self, table: &Mutex<u64>, item: u64) {
+        let g = table.lock();
+        self.enqueue(item);
+        let _ = g;
+    }
+}
+
+/// BUG 3: acquiring a permit while the map's read lock is held.
+fn reserve(map: &RwLock<u64>, permits: &Semaphore) {
+    let g = map.read();
+    let p = permits.acquire();
+    let _ = (g, p);
+}

@@ -1,0 +1,25 @@
+//! Clean fixture for `index-bound`: modulo reduction to the exact
+//! capacity, a mask to the index space, and an assert-proved bound.
+
+struct SetArray {
+    slots: [u64; 8],
+}
+
+impl SetArray {
+    /// Reduced modulo the capacity: always in bounds.
+    fn read(&self, probe: usize) -> u64 {
+        self.slots[probe % 8]
+    }
+
+    /// Masked to the 3-bit index space.
+    fn read_masked(&self, probe: usize) -> u64 {
+        self.slots[probe & 0x7]
+    }
+}
+
+/// An assert proves the bound for an otherwise-opaque index.
+fn pick(idx: usize) -> u64 {
+    assert!(idx < 3, "index escapes the code table");
+    let table = [0u64; 3];
+    table[idx]
+}

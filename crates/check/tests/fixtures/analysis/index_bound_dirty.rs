@@ -1,0 +1,29 @@
+//! Dirty fixture for `index-bound`: three seeded bugs against fixed
+//! storage — an off-by-one modulo, a completely unbounded hash index,
+//! and an inclusive-bound slip on a local lookup table.
+
+struct SetArray {
+    slots: [u64; 8],
+}
+
+impl SetArray {
+    /// BUG 1: the reduction is `% 9`, so the index still reaches 8 —
+    /// one past the last slot.
+    fn read(&self, probe: usize) -> u64 {
+        let idx = probe % 9;
+        self.slots[idx]
+    }
+
+    /// BUG 2: an unbounded hash indexes the fixed store directly.
+    fn read_hashed(&self, probe: u64) -> u64 {
+        self.slots[hash_of(probe)]
+    }
+}
+
+/// BUG 3: the classic inclusive-bound slip — a 3-entry table indexed
+/// modulo 4.
+fn last_code(seq: usize) -> u64 {
+    let table = [0u64; 3];
+    let idx = seq % 4;
+    table[idx]
+}

@@ -1,0 +1,25 @@
+//! Clean fixture for `tag-range`: the three sound constructor shapes —
+//! a mask to the declared width, a branch-narrowed checked
+//! constructor, and the full-width modulo wrap `Asid::for_index` uses.
+
+/// A 12-bit hardware tag, declared the way `mixtlb-types` does it.
+// bits: 12
+struct Vmid(u16);
+
+/// Masked to the declared width before construction.
+fn vmid_for(space: usize) -> Vmid {
+    Vmid((space & 0xFFF) as u16)
+}
+
+/// The checked constructor's branch proves the range.
+fn vmid_checked(raw: u16) -> Option<Vmid> {
+    if raw < 4095 {
+        return Some(Vmid(raw + 1));
+    }
+    None
+}
+
+/// Reduced modulo the non-zero tag space in full `usize` width.
+fn vmid_wrap(index: usize) -> Vmid {
+    Vmid((index % 4095) as u16 + 1)
+}

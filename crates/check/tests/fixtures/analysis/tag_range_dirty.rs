@@ -1,0 +1,19 @@
+//! Dirty fixture for `tag-range`: two seeded bugs against a 12-bit
+//! tag type — an unbounded id narrowed and offset straight into the
+//! constructor, and a possibly-negative delta reaching the tag.
+
+/// A 12-bit hardware tag, declared the way `mixtlb-types` does it.
+// bits: 12
+struct Vmid(u16);
+
+/// BUG 1: the space id is truncated and offset with no reduction —
+/// ids past 4094 overflow the declared 12-bit range.
+fn vmid_for(space: usize) -> Vmid {
+    Vmid(space as u16 + 1)
+}
+
+/// BUG 2: the decrement may go below zero before it reaches the tag.
+fn vmid_prev(code: u16) -> Vmid {
+    let v = (code & 0xFF) - 1;
+    Vmid(v)
+}

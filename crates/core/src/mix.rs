@@ -352,6 +352,7 @@ impl MixTlb {
                 .flatten()
                 .find(|&&(_, k)| k == key)
                 .copied();
+            let mut merged = false;
             if let Some((first_way, _)) = hit {
                 // Merge when the representation allows. Disjoint length
                 // ranges are *not* duplicates — they are different
@@ -371,11 +372,14 @@ impl MixTlb {
                     first.dirty = first.dirty && dup_dirty;
                     self.storage.remove(set, way);
                     self.stats.dup_merges += 1;
-                } else {
-                    seen[seen_len] = Some((way, key));
-                    seen_len += 1;
+                    merged = true;
                 }
-            } else {
+            }
+            if !merged {
+                // Each way records at most once and `mask` is a u64, so
+                // the seen-list cannot outgrow its 64 slots.
+                // lint: allow(panic) — restates the storage plane's way cap
+                assert!(seen_len < 64, "seen-list outgrew the 64-way cap");
                 seen[seen_len] = Some((way, key));
                 seen_len += 1;
             }

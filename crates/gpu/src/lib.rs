@@ -311,8 +311,8 @@ impl GpuScenario {
             l1_total.dirty_microops += s.dirty_microops;
             l1_total.predictor_reads += s.predictor_reads;
             l1_total.predictor_misses += s.predictor_misses;
-            for (i, h) in s.hits_by_size.iter().enumerate() {
-                l1_total.hits_by_size[i] += h;
+            for (t, h) in l1_total.hits_by_size.iter_mut().zip(s.hits_by_size.iter()) {
+                *t += h;
             }
         }
         let l2_stats = shared_l2.stats();

@@ -49,17 +49,21 @@ const SCALING_CORES: [usize; 3] = [2, 4, 8];
 fn stream_cfg() -> StreamConfig {
     StreamConfig::synchronous()
 }
-/// Streaming shape of the `stream-ws@N` points: one decode thread (the
-/// corpus decodes faster than it translates, so one decoder saturates
-/// the workers) over an 8-buffer pool.
-fn stream_ws_cfg() -> StreamConfig {
-    StreamConfig::threaded(1, 8)
+/// Streaming shape of the `stream-ws@N` points: `decoders` decode
+/// threads over an 8-buffer pool. The default (1) is the committed
+/// baseline shape — the corpus decodes faster than it translates, so
+/// one decoder saturates the workers — but `measure --stream-decoders N`
+/// overrides it for decode-bound experiments. The `stream-batched`
+/// point always keeps the synchronous shape for comparability.
+fn stream_ws_cfg(decoders: usize) -> StreamConfig {
+    StreamConfig::threaded(decoders.max(1), 8)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: perfgate <gen-corpus [--dir DIR]\n\
-         \x20               | measure [--out FILE] [--corpus DIR] [--pr N] [--reps N] [--warmup N] [--quick]\n\
+         \x20               | measure [--out FILE] [--corpus DIR] [--pr N] [--reps N] [--warmup N]\n\
+         \x20                         [--stream-decoders N] [--quick]\n\
          \x20               | gate --prev FILE --curr FILE [--tolerance FRAC] [--aggregate]\n\
          \x20               | self-test>"
     );
@@ -121,6 +125,8 @@ struct MeasurePlan {
     workloads: Vec<CorpusWorkload>,
     warmup: usize,
     reps: usize,
+    /// Decode threads of the `stream-ws@N` points (see [`stream_ws_cfg`]).
+    stream_decoders: usize,
 }
 
 fn measure_plan(args: &[String]) -> MeasurePlan {
@@ -138,6 +144,7 @@ fn measure_plan(args: &[String]) -> MeasurePlan {
         workloads,
         warmup: parse("--warmup", if quick { 1 } else { 2 }),
         reps: parse("--reps", if quick { 3 } else { 5 }),
+        stream_decoders: parse("--stream-decoders", 1).max(1),
     }
 }
 
@@ -299,7 +306,7 @@ fn measure(args: &[String]) -> ExitCode {
             let mut sws_medians = Vec::new();
             for cores in SCALING_CORES {
                 let t = time_reps(plan.warmup, plan.reps, || {
-                    replay_stream_ws(factory, &ws_pt, &path, cores, &stream_ws_cfg())
+                    replay_stream_ws(factory, &ws_pt, &path, cores, &stream_ws_cfg(plan.stream_decoders))
                         .unwrap_or_else(|e| {
                             stream_err = Some(e);
                             f64::NAN

@@ -2,8 +2,8 @@
 //! replaying a corpus block-by-block through [`stream_chunks`] into
 //! per-block `translate_batch` calls must be observably indistinguishable
 //! from decoding the whole corpus and translating it with one call —
-//! for EVERY design and every pinned corpus workload, in both the
-//! synchronous and the threaded pipeline shape.
+//! for EVERY design and every pinned corpus workload, in the
+//! synchronous shape and the threaded shape at one and two decoders.
 //!
 //! The comparison mirrors `tests/batched_differential.rs`:
 //!
@@ -122,9 +122,14 @@ fn streamed_replay_is_differentially_identical_to_buffered() {
             let buffered_l1 = buffered.hierarchy().l1.stats();
             let buffered_l2 = buffered.hierarchy().l2.as_ref().map(|l2| l2.stats());
 
+            // One decoder is the committed perfgate `stream-ws` shape;
+            // two decoders is the `--stream-decoders 2` override — the
+            // in-order consumer must make the decoder count observably
+            // irrelevant (bit-identical outputs and counters).
             for (shape, cfg) in [
                 ("sync", StreamConfig::synchronous()),
-                ("threaded", StreamConfig::threaded(2, 4)),
+                ("threaded-1", StreamConfig::threaded(1, 8)),
+                ("threaded-2", StreamConfig::threaded(2, 4)),
             ] {
                 let streamed = observe_streamed(&path, &w, factory, &cfg);
 

@@ -197,6 +197,7 @@ fn implausible_payload(payload_len: u64, count: u64) -> io::Error {
 }
 
 /// Two-bit wire code for an access kind.
+// bits: 2
 fn kind_code(kind: AccessKind) -> u64 {
     match kind {
         AccessKind::Load => 0,

@@ -64,7 +64,9 @@ impl PageSize {
         !matches!(self, PageSize::Size4K)
     }
 
-    /// Encodes the size as the paper's 2-bit TLB entry field.
+    /// Encodes the size as the paper's 2-bit TLB entry field. (No
+    /// `// bits:` annotation: the analyzer's body-derived summary
+    /// `[0, 2]` is tighter than the declared 2-bit width.)
     #[inline]
     pub const fn encode(self) -> u8 {
         match self {

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::addr::{PhysAddr, VirtAddr};
-use crate::page::{PageSize, Pfn, Vpn, PAGE_SHIFT};
+use crate::page::{PageSize, Pfn, Vpn};
 use crate::perms::Permissions;
 
 /// A complete virtual-to-physical mapping for one page, as produced by a
@@ -83,8 +83,9 @@ impl Translation {
             return Err(TranslationError::OutOfRange);
         }
         let delta = va.vpn().offset_within(self.size);
-        Ok(PhysAddr::new(
-            ((self.pfn.raw() + delta) << PAGE_SHIFT) | va.page_offset(PageSize::Size4K),
+        Ok(PhysAddr::from_page(
+            self.pfn.add_4k(delta),
+            va.page_offset(PageSize::Size4K),
         ))
     }
 
